@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netloc/internal/trace"
+	"netloc/internal/workloads"
+)
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run("", 0, "", false, "", 32); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+}
+
+func TestRunASCIIFromWorkload(t *testing.T) {
+	if err := run("LULESH", 64, "", false, "", 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWireMatrix(t *testing.T) {
+	if err := run("EXMATEX CMC 2D", 64, "", true, "", 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if err := run("NoSuchApp", 8, "", false, "", 16); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run("LULESH", 5, "", false, "", 16); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunPGMOutput(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "m.pgm")
+	if err := run("MiniFE", 18, "", false, out, 16); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:3]) != "P5\n" {
+		t.Fatalf("not a PGM: %q", data[:3])
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	app, err := workloads.Lookup("Crystal Router")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := app.Generate(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cr.nlt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, path, false, "", 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, filepath.Join(dir, "missing.nlt"), false, "", 16); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Command dumpiconvert converts per-rank dumpi2ascii dumps (the text form
+// of the sst-dumpi traces the original study analyzed) into this
+// repository's binary trace format, ready for cmd/locality -trace.
+//
+// Usage:
+//
+//	dumpiconvert -app AMG -o amg.nlt rank0.txt rank1.txt ... rankN.txt
+//
+// Files are assigned ranks in argument order (sort them by the rank index
+// embedded in dumpi file names).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"netloc/internal/dumpi"
+	"netloc/internal/trace"
+)
+
+func main() {
+	var (
+		app = flag.String("app", "trace", "application name recorded in the output")
+		out = flag.String("o", "out.nlt", "output trace file")
+	)
+	flag.Parse()
+	if err := run(*app, *out, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "dumpiconvert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, out string, files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("no input files (one dumpi2ascii dump per rank, in rank order)")
+	}
+	readers := make([]io.Reader, len(files))
+	closers := make([]*os.File, len(files))
+	for i, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		readers[i] = f
+		closers[i] = f
+	}
+	defer func() {
+		for _, f := range closers {
+			f.Close()
+		}
+	}()
+	t, err := dumpi.LoadTrace(app, readers)
+	if err != nil {
+		return err
+	}
+	dst, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	if err := trace.WriteTrace(dst, t); err != nil {
+		return err
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	p2p, coll := t.TotalBytes()
+	fmt.Printf("wrote %s: %d ranks, %d events, %.1f MB p2p + %.1f MB collective, %.3gs wall time\n",
+		out, t.Meta.Ranks, len(t.Events), float64(p2p)/1e6, float64(coll)/1e6, t.Meta.WallTime)
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netloc/internal/trace"
+)
+
+const rank0Dump = `MPI_Send entering at walltime 100.0, cputime 0 seconds in thread 0.
+int count=4096
+datatype datatype=10 (MPI_DOUBLE)
+int dest=1
+MPI_Send returning at walltime 100.5, cputime 0 seconds in thread 0.
+`
+
+const rank1Dump = `MPI_Recv entering at walltime 100.0, cputime 0 seconds in thread 0.
+int count=4096
+datatype datatype=10 (MPI_DOUBLE)
+int source=0
+MPI_Recv returning at walltime 100.6, cputime 0 seconds in thread 0.
+`
+
+func TestRunConvertsDumps(t *testing.T) {
+	dir := t.TempDir()
+	f0 := filepath.Join(dir, "r0.txt")
+	f1 := filepath.Join(dir, "r1.txt")
+	if err := os.WriteFile(f0, []byte(rank0Dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f1, []byte(rank1Dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.nlt")
+	if err := run("demo", out, []string{f0, f1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Ranks != 2 || tr.Meta.App != "demo" || len(tr.Events) != 2 {
+		t.Fatalf("trace = %+v", tr.Meta)
+	}
+	// 4096 doubles = 32768 bytes on the send.
+	if tr.Events[0].Bytes != 32768 {
+		t.Fatalf("bytes = %d", tr.Events[0].Bytes)
+	}
+}
+
+func TestRunNoInputs(t *testing.T) {
+	if err := run("x", "out.nlt", nil); err == nil {
+		t.Fatal("no inputs accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("x", "out.nlt", []string{"/nonexistent/r0.txt"}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestRunBadOutput(t *testing.T) {
+	dir := t.TempDir()
+	f0 := filepath.Join(dir, "r0.txt")
+	if err := os.WriteFile(f0, []byte(rank0Dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// rank0 sends to rank 1, which does not exist in a 1-rank trace.
+	if err := run("x", filepath.Join(dir, "o.nlt"), []string{f0}); err == nil {
+		t.Fatal("out-of-range peer accepted")
+	}
+}

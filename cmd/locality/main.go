@@ -1,0 +1,113 @@
+// Command locality regenerates the tables and figures of "On Network
+// Locality in MPI-Based HPC Applications" (Zahn & Fröning, ICPP 2020) from
+// the synthetic workload suite, or analyzes a trace file.
+//
+// Usage:
+//
+//	locality -exp table1|table2|table3|table4|fig1|fig3|fig4|fig5|claims [flags]
+//	locality -trace file.nlt [flags]
+//	locality -list
+//
+// Flags:
+//
+//	-exp string      experiment to run (default "table3")
+//	-trace string    analyze a binary trace file instead of an experiment
+//	-app string      workload for fig1/fig4 (default "LULESH" / "AMG")
+//	-ranks int       rank count for fig1 (default 64)
+//	-rank int        source rank for fig1 (default 0)
+//	-minranks int    smallest configuration included in fig5 (default 512)
+//	-coverage float  traffic-coverage threshold (default 0.9)
+//	-csv             emit CSV instead of aligned text
+//	-list            list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netloc/internal/core"
+	"netloc/internal/harness"
+	"netloc/internal/mpi"
+	"netloc/internal/trace"
+)
+
+// parseStrategy maps the -strategy flag to a collective expansion scheme.
+func parseStrategy(s string) (mpi.Strategy, error) {
+	switch s {
+	case "", "direct":
+		return mpi.StrategyDirect, nil
+	case "tree":
+		return mpi.StrategyTree, nil
+	case "ring":
+		return mpi.StrategyRing, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q (direct|tree|ring)", s)
+}
+
+func main() {
+	var (
+		exp      = flag.String("exp", "table3", "experiment to run (see -list)")
+		traceIn  = flag.String("trace", "", "analyze a binary trace file instead of running an experiment")
+		app      = flag.String("app", "", "workload name for fig1/fig4")
+		ranks    = flag.Int("ranks", 0, "rank count for fig1")
+		rank     = flag.Int("rank", 0, "source rank for fig1")
+		minRanks = flag.Int("minranks", 0, "smallest configuration included in fig5")
+		coverage = flag.Float64("coverage", 0, "traffic-coverage threshold (default 0.9)")
+		csv      = flag.Bool("csv", false, "emit CSV")
+		list     = flag.Bool("list", false, "list experiments")
+		outdir   = flag.String("all", "", "run every experiment, writing one file per experiment into this directory")
+		strategy = flag.String("strategy", "direct", "collective expansion: direct (the paper's), tree, or ring")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range harness.Experiments() {
+			desc, _ := harness.Describe(name)
+			fmt.Printf("%-8s %s\n", name, desc)
+		}
+		return
+	}
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locality:", err)
+		os.Exit(1)
+	}
+	params := harness.Params{
+		Experiment: *exp,
+		App:        *app,
+		Ranks:      *ranks,
+		Rank:       *rank,
+		MinRanks:   *minRanks,
+		CSV:        *csv,
+		Options:    core.Options{Coverage: *coverage, Strategy: strat},
+	}
+	if *outdir != "" {
+		if err := harness.RunAll(*outdir, params); err != nil {
+			fmt.Fprintln(os.Stderr, "locality:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*traceIn, params); err != nil {
+		fmt.Fprintln(os.Stderr, "locality:", err)
+		os.Exit(1)
+	}
+}
+
+func run(traceIn string, params harness.Params) error {
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		t, err := trace.ReadTrace(f)
+		if err != nil {
+			return err
+		}
+		return harness.AnalyzeTraceFile(os.Stdout, t, params)
+	}
+	return harness.Run(os.Stdout, params)
+}

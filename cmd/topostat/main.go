@@ -1,0 +1,92 @@
+// Command topostat inspects the topology models: configuration selection,
+// link inventories, and hop-distance histograms under uniform traffic.
+//
+// Usage:
+//
+//	topostat -size 216            # Table 2 row + stats for 216 ranks
+//	topostat -kind torus -size 64 # one topology only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netloc/internal/topology"
+)
+
+func main() {
+	var (
+		size = flag.Int("size", 64, "rank count to configure for")
+		kind = flag.String("kind", "", "restrict to torus|fattree|dragonfly")
+	)
+	flag.Parse()
+	if err := run(*size, *kind); err != nil {
+		fmt.Fprintln(os.Stderr, "topostat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(size int, kind string) error {
+	tor, ft, df, err := topology.Configs(size)
+	if err != nil {
+		return err
+	}
+	for _, cfg := range []topology.Config{tor, ft, df} {
+		if kind != "" && cfg.Kind != kind {
+			continue
+		}
+		if err := describe(cfg, size); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func describe(cfg topology.Config, ranks int) error {
+	topo, err := cfg.Build()
+	if err != nil {
+		return err
+	}
+	classes := topo.LinkClasses()
+	var term, local, global int
+	for _, c := range classes {
+		switch c {
+		case topology.ClassTerminal:
+			term++
+		case topology.ClassLocal:
+			local++
+		case topology.ClassGlobal:
+			global++
+		}
+	}
+	fmt.Printf("%s %s: %d nodes (%d ranks mapped), %d vertices, %d links (%d terminal, %d local, %d global)\n",
+		cfg.Kind, cfg, topo.Nodes(), ranks, topo.NumVertices(), len(topo.Links()), term, local, global)
+
+	// Hop histogram over the mapped rank pairs (consecutive mapping).
+	hist := map[int]int{}
+	maxHops, pairs := 0, 0
+	var total float64
+	for s := 0; s < ranks; s++ {
+		for d := 0; d < ranks; d++ {
+			if s == d {
+				continue
+			}
+			h := topo.HopCount(s, d)
+			hist[h]++
+			pairs++
+			total += float64(h)
+			if h > maxHops {
+				maxHops = h
+			}
+		}
+	}
+	fmt.Printf("  uniform pairs: avg hops %.3f, diameter (over mapped ranks) %d\n", total/float64(pairs), maxHops)
+	for h := 0; h <= maxHops; h++ {
+		if hist[h] == 0 {
+			continue
+		}
+		fmt.Printf("  %2d hops: %7d pairs (%5.1f%%)\n", h, hist[h], 100*float64(hist[h])/float64(pairs))
+	}
+	return nil
+}

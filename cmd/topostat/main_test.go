@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunAllKinds(t *testing.T) {
+	if err := run(27, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleKind(t *testing.T) {
+	for _, kind := range []string{"torus", "fattree", "dragonfly"} {
+		if err := run(64, kind); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunBadSize(t *testing.T) {
+	if err := run(0, ""); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if err := run(1<<20, ""); err == nil {
+		t.Fatal("oversized config accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netloc/internal/trace"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run("", 0, "", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresAppAndRanks(t *testing.T) {
+	if err := run("", 0, "", false, false); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if err := run("LULESH", 0, "", false, false); err == nil {
+		t.Fatal("missing ranks accepted")
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if err := run("NoSuchApp", 8, "", false, false); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run("LULESH", 7, "", false, false); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunWritesBinaryTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "l.nlt")
+	if err := run("LULESH", 64, out, false, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.App != "LULESH" || tr.Meta.Ranks != 64 {
+		t.Fatalf("meta = %+v", tr.Meta)
+	}
+}
+
+func TestRunWritesTextTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "m.txt")
+	if err := run("MiniFE", 18, out, true, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Ranks != 18 {
+		t.Fatalf("meta = %+v", tr.Meta)
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run("LULESH", 64, "/nonexistent-dir/x.nlt", false, false); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Mappingopt demonstrates the paper's central optimization suggestion:
+// "static analyses could assist to select an advanced mapping, which
+// assigns groups of heavily communicating ranks to nearby physical
+// entities". It compares consecutive, random, and greedy
+// communication-aware mappings on a torus and reports the packet-hop
+// reduction the smart mapping achieves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netloc/internal/comm"
+	"netloc/internal/mapping"
+	"netloc/internal/netmodel"
+	"netloc/internal/topology"
+	"netloc/internal/workloads"
+)
+
+func main() {
+	const appName = "SNAP" // large rank distance: most room for mapping gains
+	const ranks = 168
+
+	app, err := workloads.Lookup(appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := app.Generate(ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := comm.Accumulate(tr, comm.AccumulateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg, err := topology.TorusConfig(ranks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := cfg.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	consecutive, err := mapping.Consecutive(ranks, topo.Nodes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	random, err := mapping.Random(ranks, topo.Nodes(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := mapping.Greedy(acc.Wire, topo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	optimized, err := mapping.Optimize(acc.Wire, topo, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s at %d ranks on %s %s\n\n", appName, ranks, topo.Kind(), cfg)
+	var baseline uint64
+	for _, m := range []struct {
+		name string
+		mp   *mapping.Mapping
+	}{
+		{"consecutive", consecutive},
+		{"random", random},
+		{"greedy (comm-aware)", greedy},
+		{"optimized (multi-start)", optimized},
+	} {
+		res, err := netmodel.Run(acc.Wire, topo, m.mp, netmodel.Options{
+			WallTime:   tr.Meta.WallTime,
+			TrackLinks: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = res.PacketHops
+		}
+		fmt.Printf("%-20s packet hops %.3g  avg hops %.3f  used links %d  (%.1f%% of consecutive)\n",
+			m.name, float64(res.PacketHops), res.AvgHops, res.UsedLinks,
+			100*float64(res.PacketHops)/float64(baseline))
+	}
+	fmt.Println("\nThe refined mapping clusters each rank next to its heavy partners, so")
+	fmt.Println("the same traffic needs fewer link traversals — lower latency and")
+	fmt.Println("congestion probability at identical application behavior.")
+}

@@ -1,0 +1,82 @@
+// Tracefiles demonstrates the dumpi-like trace container: write a
+// synthetic trace to disk in binary form, stream it back without
+// materializing the event list, and analyze the result — the workflow a
+// user with real converted dumpi traces would follow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"netloc/internal/comm"
+	"netloc/internal/core"
+	"netloc/internal/trace"
+	"netloc/internal/workloads"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "netloc-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "minife-144.nlt")
+
+	// 1. Generate and persist a trace.
+	app, err := workloads.Lookup("MiniFE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := app.Generate(144)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.WriteTrace(f, tr); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d events, %d bytes on disk\n", filepath.Base(path), len(tr.Events), info.Size())
+
+	// 2. Stream it back: the reader validates the header and every
+	//    record, and the accumulator builds the matrices incrementally,
+	//    so arbitrarily large traces need constant memory.
+	in, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+	r, err := trace.NewReader(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streaming %s: app=%s ranks=%d wall=%.1fs, %d events pending\n",
+		filepath.Base(path), r.Meta().App, r.Meta().Ranks, r.Meta().WallTime, r.Remaining())
+	acc, err := comm.AccumulateStream(r, comm.AccumulateOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Analyze the accumulated matrices.
+	a, err := core.AnalyzeAccumulated(acc, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s/%d from disk: peers=%d rank distance=%.1f selectivity=%.1f\n",
+		a.App, a.Ranks, a.Peers, a.RankDistance, a.Selectivity)
+	fmt.Printf("torus %s: avg hops %.2f; fat tree %s: avg hops %.2f; dragonfly %s: avg hops %.2f\n",
+		a.Torus.Config, a.Torus.AvgHops,
+		a.FatTree.Config, a.FatTree.AvgHops,
+		a.Dragonfly.Config, a.Dragonfly.AvgHops)
+}

@@ -1,0 +1,3 @@
+module netloc
+
+go 1.22

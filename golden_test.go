@@ -1,0 +1,28 @@
+package netloc
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"netloc/internal/harness"
+)
+
+// TestTable2MatchesGolden pins the fully deterministic Table 2 rendering
+// against the checked-in reference output under results/. Regenerate with
+//
+//	go run ./cmd/locality -exp table2 > results/table2.txt
+func TestTable2MatchesGolden(t *testing.T) {
+	golden, err := os.ReadFile("results/table2.txt")
+	if err != nil {
+		t.Skipf("golden file missing: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := harness.Run(&buf, harness.Params{Experiment: "table2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("table2 output diverged from results/table2.txt:\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), golden)
+	}
+}

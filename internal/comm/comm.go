@@ -1,0 +1,314 @@
+// Package comm accumulates traced MPI traffic into communication matrices:
+// per ordered rank pair, the total bytes, message count, and packet count.
+//
+// Two matrices matter to the study: the point-to-point matrix (what the
+// hardware-agnostic MPI-level metrics — rank locality, selectivity, peers —
+// are computed from) and the full wire matrix including expanded
+// collectives (what the topology-level metrics — packet hops, utilization —
+// are computed from). Accumulate builds both in one streaming pass.
+package comm
+
+import (
+	"fmt"
+	"io"
+
+	"netloc/internal/mpi"
+	"netloc/internal/trace"
+)
+
+// DefaultPacketSize is the maximum packet payload the paper assumes (4 kB).
+const DefaultPacketSize = 4096
+
+// Key identifies an ordered rank pair.
+type Key struct {
+	Src, Dst int
+}
+
+// Entry aggregates the traffic of one ordered rank pair.
+type Entry struct {
+	Bytes    uint64
+	Messages uint64
+	Packets  uint64
+}
+
+// Matrix is a sparse communication matrix over ranks 0..Ranks-1, stored
+// row-wise (one destination map per source rank) so that per-source
+// queries — which the rank-level metrics issue for every rank — touch only
+// that rank's partners rather than the whole pair set.
+type Matrix struct {
+	ranks      int
+	packetSize int
+	rows       []map[int]Entry
+	pairs      int
+	totalBytes uint64
+	totalMsgs  uint64
+	totalPkts  uint64
+}
+
+// NewMatrix creates an empty matrix. packetSize <= 0 selects
+// DefaultPacketSize.
+func NewMatrix(ranks, packetSize int) (*Matrix, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("comm: non-positive rank count %d", ranks)
+	}
+	if packetSize <= 0 {
+		packetSize = DefaultPacketSize
+	}
+	return &Matrix{ranks: ranks, packetSize: packetSize, rows: make([]map[int]Entry, ranks)}, nil
+}
+
+// Ranks returns the rank-space size of the matrix.
+func (m *Matrix) Ranks() int { return m.ranks }
+
+// PacketSize returns the packetization granularity in bytes.
+func (m *Matrix) PacketSize() int { return m.packetSize }
+
+// PacketsFor returns how many packets a message of the given size occupies:
+// ceil(bytes/packetSize); zero-byte messages carry no packets.
+func (m *Matrix) PacketsFor(bytes uint64) uint64 {
+	ps := uint64(m.packetSize)
+	return (bytes + ps - 1) / ps
+}
+
+// Add records one message from src to dst.
+func (m *Matrix) Add(src, dst int, bytes uint64) error {
+	return m.AddN(src, dst, bytes, 1)
+}
+
+// AddN records n identical messages of the given size from src to dst in
+// one operation (used to coalesce repeated collective rounds).
+func (m *Matrix) AddN(src, dst int, bytes uint64, n uint64) error {
+	if src < 0 || src >= m.ranks || dst < 0 || dst >= m.ranks {
+		return fmt.Errorf("comm: pair (%d,%d) out of range [0,%d)", src, dst, m.ranks)
+	}
+	if src == dst {
+		return fmt.Errorf("comm: self message on rank %d", src)
+	}
+	if n == 0 {
+		return nil
+	}
+	row := m.rows[src]
+	if row == nil {
+		row = make(map[int]Entry)
+		m.rows[src] = row
+	}
+	e, existed := row[dst]
+	if !existed {
+		m.pairs++
+	}
+	pkts := m.PacketsFor(bytes) * n
+	e.Bytes += bytes * n
+	e.Messages += n
+	e.Packets += pkts
+	row[dst] = e
+	m.totalBytes += bytes * n
+	m.totalMsgs += n
+	m.totalPkts += pkts
+	return nil
+}
+
+// Pairs returns the number of ordered rank pairs with recorded traffic.
+func (m *Matrix) Pairs() int { return m.pairs }
+
+// TotalBytes returns the total recorded volume.
+func (m *Matrix) TotalBytes() uint64 { return m.totalBytes }
+
+// TotalMessages returns the total message count.
+func (m *Matrix) TotalMessages() uint64 { return m.totalMsgs }
+
+// TotalPackets returns the total packet count.
+func (m *Matrix) TotalPackets() uint64 { return m.totalPkts }
+
+// Lookup returns the entry for an ordered pair, or a zero entry.
+func (m *Matrix) Lookup(src, dst int) Entry {
+	if src < 0 || src >= m.ranks {
+		return Entry{}
+	}
+	return m.rows[src][dst]
+}
+
+// Each calls fn for every (pair, entry) with recorded traffic, in
+// ascending source order; destination order within a source is
+// unspecified.
+func (m *Matrix) Each(fn func(k Key, e Entry)) {
+	for src, row := range m.rows {
+		for dst, e := range row {
+			fn(Key{Src: src, Dst: dst}, e)
+		}
+	}
+}
+
+// BySource returns, for the given source rank, the destination ranks it
+// sends to and the per-destination byte volumes (parallel slices, order
+// unspecified).
+func (m *Matrix) BySource(src int) (dsts []int, vols []float64) {
+	if src < 0 || src >= m.ranks {
+		return nil, nil
+	}
+	row := m.rows[src]
+	if len(row) == 0 {
+		return nil, nil
+	}
+	dsts = make([]int, 0, len(row))
+	vols = make([]float64, 0, len(row))
+	for dst, e := range row {
+		dsts = append(dsts, dst)
+		vols = append(vols, float64(e.Bytes))
+	}
+	return dsts, vols
+}
+
+// Accumulated holds the two matrices of one trace plus accounting totals.
+type Accumulated struct {
+	Meta trace.Meta
+	// P2P covers only genuine point-to-point messages (what the
+	// MPI-level metrics see).
+	P2P *Matrix
+	// Wire covers all wire messages including expanded collectives
+	// (what the topology-level metrics see).
+	Wire *Matrix
+	// CallerP2PBytes and CallerCollBytes sum the caller-side payloads of
+	// the traced events (the Table 1 volume accounting).
+	CallerP2PBytes  uint64
+	CallerCollBytes uint64
+
+	strategy   mpi.Strategy
+	collCounts map[collKey]uint64
+}
+
+// AccumulateOptions tunes accumulation.
+type AccumulateOptions struct {
+	// PacketSize overrides DefaultPacketSize when positive.
+	PacketSize int
+	// Strategy selects the collective expansion algorithm; the zero
+	// value is the paper's direct translation.
+	Strategy mpi.Strategy
+}
+
+// Accumulate builds the P2P and wire matrices from a materialized trace.
+func Accumulate(t *trace.Trace, opts AccumulateOptions) (*Accumulated, error) {
+	world, err := mpi.World(t.Meta.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := newAccumulated(t.Meta, opts)
+	if err != nil {
+		return nil, err
+	}
+	var buf []mpi.Message
+	for i := range t.Events {
+		if err := acc.addEvent(t.Events[i], world, &buf); err != nil {
+			return nil, fmt.Errorf("comm: event %d: %w", i, err)
+		}
+	}
+	if err := acc.flushCollectives(world, &buf); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// AccumulateStream builds the matrices from a streaming trace reader,
+// without materializing the event list.
+func AccumulateStream(r *trace.Reader, opts AccumulateOptions) (*Accumulated, error) {
+	world, err := mpi.World(r.Meta().Ranks)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := newAccumulated(r.Meta(), opts)
+	if err != nil {
+		return nil, err
+	}
+	var buf []mpi.Message
+	for i := 0; ; i++ {
+		e, err := r.Read()
+		if err == io.EOF {
+			if err := acc.flushCollectives(world, &buf); err != nil {
+				return nil, err
+			}
+			return acc, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := acc.addEvent(e, world, &buf); err != nil {
+			return nil, fmt.Errorf("comm: event %d: %w", i, err)
+		}
+	}
+}
+
+func newAccumulated(meta trace.Meta, opts AccumulateOptions) (*Accumulated, error) {
+	p2p, err := NewMatrix(meta.Ranks, opts.PacketSize)
+	if err != nil {
+		return nil, err
+	}
+	wire, err := NewMatrix(meta.Ranks, opts.PacketSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Accumulated{
+		Meta: meta, P2P: p2p, Wire: wire,
+		strategy:   opts.Strategy,
+		collCounts: make(map[collKey]uint64),
+	}, nil
+}
+
+// collKey identifies a collective event shape; identical collective rounds
+// (same caller, op, root, and payload) repeat many times in iterative
+// applications, so Accumulate counts them and expands each distinct shape
+// only once, with AddN applying the multiplicity.
+type collKey struct {
+	rank  int
+	op    trace.Op
+	root  int
+	bytes uint64
+}
+
+func (a *Accumulated) addEvent(e trace.Event, world *mpi.Comm, buf *[]mpi.Message) error {
+	switch {
+	case e.Op == trace.OpSend:
+		a.CallerP2PBytes += e.Bytes
+	case e.Op.IsCollective():
+		a.CallerCollBytes += e.Bytes
+		if err := e.Validate(world.Size()); err != nil {
+			return err
+		}
+		a.collCounts[collKey{rank: e.Rank, op: e.Op, root: e.Root, bytes: e.Bytes}]++
+		return nil
+	}
+	msgs, err := mpi.ExpandEvent((*buf)[:0], e, world, mpi.ExpandOptions{Strategy: a.strategy})
+	if err != nil {
+		return err
+	}
+	*buf = msgs
+	for _, msg := range msgs {
+		if err := a.Wire.Add(msg.Src, msg.Dst, msg.Bytes); err != nil {
+			return err
+		}
+		if !msg.FromCollective {
+			if err := a.P2P.Add(msg.Src, msg.Dst, msg.Bytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushCollectives expands the counted collective shapes into the wire
+// matrix.
+func (a *Accumulated) flushCollectives(world *mpi.Comm, buf *[]mpi.Message) error {
+	for k, count := range a.collCounts {
+		e := trace.Event{Rank: k.rank, Op: k.op, Peer: -1, Root: k.root, Bytes: k.bytes}
+		msgs, err := mpi.ExpandEvent((*buf)[:0], e, world, mpi.ExpandOptions{Strategy: a.strategy})
+		if err != nil {
+			return err
+		}
+		*buf = msgs
+		for _, msg := range msgs {
+			if err := a.Wire.AddN(msg.Src, msg.Dst, msg.Bytes, count); err != nil {
+				return err
+			}
+		}
+	}
+	a.collCounts = make(map[collKey]uint64)
+	return nil
+}

@@ -1,0 +1,261 @@
+package comm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netloc/internal/trace"
+)
+
+func mustMatrix(t *testing.T, ranks, ps int) *Matrix {
+	t.Helper()
+	m, err := NewMatrix(ranks, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0, 0); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	m := mustMatrix(t, 4, 0)
+	if m.PacketSize() != DefaultPacketSize {
+		t.Fatalf("default packet size = %d", m.PacketSize())
+	}
+	m2 := mustMatrix(t, 4, 512)
+	if m2.PacketSize() != 512 {
+		t.Fatalf("packet size = %d", m2.PacketSize())
+	}
+}
+
+func TestPacketsFor(t *testing.T) {
+	m := mustMatrix(t, 2, 4096)
+	cases := []struct {
+		bytes, want uint64
+	}{
+		{0, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {8193, 3},
+	}
+	for _, c := range cases {
+		if got := m.PacketsFor(c.bytes); got != c.want {
+			t.Errorf("PacketsFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	m := mustMatrix(t, 4, 4096)
+	if err := m.Add(0, 1, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	e := m.Lookup(0, 1)
+	if e.Bytes != 5100 || e.Messages != 2 || e.Packets != 3 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if m.Pairs() != 2 {
+		t.Fatalf("pairs = %d", m.Pairs())
+	}
+	if m.TotalBytes() != 5101 || m.TotalMessages() != 3 || m.TotalPackets() != 4 {
+		t.Fatalf("totals = %d/%d/%d", m.TotalBytes(), m.TotalMessages(), m.TotalPackets())
+	}
+	if z := m.Lookup(2, 3); z != (Entry{}) {
+		t.Fatalf("zero lookup = %+v", z)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	m := mustMatrix(t, 4, 0)
+	if err := m.Add(0, 0, 1); err == nil {
+		t.Fatal("self message accepted")
+	}
+	if err := m.Add(-1, 0, 1); err == nil {
+		t.Fatal("negative src accepted")
+	}
+	if err := m.Add(0, 4, 1); err == nil {
+		t.Fatal("dst out of range accepted")
+	}
+}
+
+func TestBySource(t *testing.T) {
+	m := mustMatrix(t, 4, 0)
+	_ = m.Add(0, 1, 10)
+	_ = m.Add(0, 2, 20)
+	_ = m.Add(1, 2, 99)
+	dsts, vols := m.BySource(0)
+	if len(dsts) != 2 || len(vols) != 2 {
+		t.Fatalf("BySource lengths %d/%d", len(dsts), len(vols))
+	}
+	got := map[int]float64{}
+	for i := range dsts {
+		got[dsts[i]] = vols[i]
+	}
+	if got[1] != 10 || got[2] != 20 {
+		t.Fatalf("BySource = %v", got)
+	}
+	if d, v := m.BySource(3); d != nil || v != nil {
+		t.Fatalf("BySource(3) = %v, %v", d, v)
+	}
+}
+
+func TestEachVisitsAllPairs(t *testing.T) {
+	m := mustMatrix(t, 4, 0)
+	_ = m.Add(0, 1, 10)
+	_ = m.Add(2, 3, 20)
+	seen := map[Key]uint64{}
+	m.Each(func(k Key, e Entry) { seen[k] = e.Bytes })
+	if len(seen) != 2 || seen[Key{0, 1}] != 10 || seen[Key{2, 3}] != 20 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func testTrace() *trace.Trace {
+	return &trace.Trace{
+		Meta: trace.Meta{App: "t", Ranks: 4, WallTime: 2},
+		Events: []trace.Event{
+			{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 8192},
+			{Rank: 1, Op: trace.OpRecv, Peer: 0, Root: -1, Bytes: 8192},
+			{Rank: 0, Op: trace.OpAllreduce, Peer: -1, Root: -1, Bytes: 100},
+			{Rank: 1, Op: trace.OpAllreduce, Peer: -1, Root: -1, Bytes: 100},
+			{Rank: 2, Op: trace.OpAllreduce, Peer: -1, Root: -1, Bytes: 100},
+			{Rank: 3, Op: trace.OpAllreduce, Peer: -1, Root: -1, Bytes: 100},
+		},
+	}
+}
+
+func TestAccumulateSeparatesP2PAndWire(t *testing.T) {
+	acc, err := Accumulate(testTrace(), AccumulateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P2P: only the send.
+	if acc.P2P.TotalBytes() != 8192 || acc.P2P.Pairs() != 1 {
+		t.Fatalf("p2p totals: %d bytes, %d pairs", acc.P2P.TotalBytes(), acc.P2P.Pairs())
+	}
+	// Wire: send + 4 ranks * 3 peers * 100 bytes of allreduce.
+	wantWire := uint64(8192 + 12*100)
+	if acc.Wire.TotalBytes() != wantWire {
+		t.Fatalf("wire bytes = %d, want %d", acc.Wire.TotalBytes(), wantWire)
+	}
+	if acc.Wire.Pairs() != 12 { // all ordered pairs (0,1 included via both)
+		t.Fatalf("wire pairs = %d, want 12", acc.Wire.Pairs())
+	}
+	if acc.CallerP2PBytes != 8192 || acc.CallerCollBytes != 400 {
+		t.Fatalf("caller totals: %d / %d", acc.CallerP2PBytes, acc.CallerCollBytes)
+	}
+	if acc.Meta.App != "t" {
+		t.Fatalf("meta not carried: %+v", acc.Meta)
+	}
+}
+
+func TestAccumulateStreamMatchesAccumulate(t *testing.T) {
+	tr := testTrace()
+	var buf bytes.Buffer
+	if err := trace.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStream, err := AccumulateStream(r, AccumulateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Accumulate(tr, AccumulateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromStream.Wire.TotalBytes() != direct.Wire.TotalBytes() ||
+		fromStream.P2P.TotalBytes() != direct.P2P.TotalBytes() ||
+		fromStream.Wire.Pairs() != direct.Wire.Pairs() {
+		t.Fatal("stream and direct accumulation differ")
+	}
+}
+
+func TestAccumulatePacketSizeOption(t *testing.T) {
+	tr := &trace.Trace{
+		Meta:   trace.Meta{App: "t", Ranks: 2, WallTime: 1},
+		Events: []trace.Event{{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 1000}},
+	}
+	acc, err := Accumulate(tr, AccumulateOptions{PacketSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Wire.TotalPackets() != 10 {
+		t.Fatalf("packets = %d, want 10", acc.Wire.TotalPackets())
+	}
+}
+
+func TestAccumulateRejectsBadTrace(t *testing.T) {
+	tr := &trace.Trace{
+		Meta:   trace.Meta{App: "t", Ranks: 2, WallTime: 1},
+		Events: []trace.Event{{Rank: 0, Op: trace.Op(99), Peer: -1, Root: -1}},
+	}
+	if _, err := Accumulate(tr, AccumulateOptions{}); err == nil {
+		t.Fatal("bad op accepted")
+	}
+	bad := &trace.Trace{Meta: trace.Meta{Ranks: 0}}
+	if _, err := Accumulate(bad, AccumulateOptions{}); err == nil {
+		t.Fatal("bad meta accepted")
+	}
+}
+
+// Property: wire totals always dominate p2p totals, and packet counts are
+// consistent with ceil packetization.
+func TestAccumulateDominanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 2 + rng.Intn(10)
+		tr := &trace.Trace{Meta: trace.Meta{App: "p", Ranks: ranks, WallTime: 1}}
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			r := rng.Intn(ranks)
+			if rng.Intn(2) == 0 {
+				tr.Events = append(tr.Events, trace.Event{
+					Rank: r, Op: trace.OpSend, Peer: (r + 1 + rng.Intn(ranks-1)) % ranks,
+					Root: -1, Bytes: uint64(rng.Intn(10000)),
+				})
+			} else {
+				tr.Events = append(tr.Events, trace.Event{
+					Rank: r, Op: trace.OpAllreduce, Peer: -1, Root: -1,
+					Bytes: uint64(rng.Intn(1000)),
+				})
+			}
+		}
+		acc, err := Accumulate(tr, AccumulateOptions{})
+		if err != nil {
+			return false
+		}
+		if acc.Wire.TotalBytes() < acc.P2P.TotalBytes() {
+			return false
+		}
+		if acc.Wire.TotalPackets() < acc.P2P.TotalPackets() {
+			return false
+		}
+		// Per-pair packet consistency: packets >= ceil(bytes/ps/msgs)
+		// and packets <= messages * ceil(maxBytes/ps); check the weaker
+		// invariant packets >= ceil(bytes/ps).
+		ok := true
+		acc.Wire.Each(func(k Key, e Entry) {
+			if e.Packets < acc.Wire.PacketsFor(e.Bytes)/e.Messages {
+				ok = false
+			}
+			if e.Messages == 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package core ties the substrates together into the study's analysis
+// pipeline: a trace (generated or loaded) is accumulated into
+// communication matrices, the hardware-agnostic MPI-level metrics are
+// computed from the point-to-point matrix, and the wire matrix is driven
+// over the three topology models to produce the system-level metrics.
+// The experiment drivers that regenerate each of the paper's tables and
+// figures live in experiments.go.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"netloc/internal/comm"
+	"netloc/internal/mapping"
+	"netloc/internal/metrics"
+	"netloc/internal/mpi"
+	"netloc/internal/netmodel"
+	"netloc/internal/topology"
+	"netloc/internal/trace"
+	"netloc/internal/workloads"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Coverage is the traffic-share threshold of the 90% rules;
+	// metrics.DefaultCoverage when zero.
+	Coverage float64
+	// PacketSize is the packetization granularity;
+	// comm.DefaultPacketSize when zero.
+	PacketSize int
+	// BandwidthBytesPerSec is the per-link bandwidth;
+	// netmodel.DefaultBandwidth when zero.
+	BandwidthBytesPerSec float64
+	// Strategy selects the collective-expansion algorithm; the zero
+	// value is the paper's direct translation (see mpi.Strategy).
+	Strategy mpi.Strategy
+	// SkipTopologies computes only the MPI-level metrics.
+	SkipTopologies bool
+	// SkipLinkTracking skips per-link accounting (utilization and the
+	// global-link share stay zero) for faster hop-only runs.
+	SkipLinkTracking bool
+}
+
+func (o Options) coverage() float64 {
+	if o.Coverage == 0 {
+		return metrics.DefaultCoverage
+	}
+	return o.Coverage
+}
+
+// TopoResult holds the system-level metrics of one topology (one
+// topology-block of a Table 3 row).
+type TopoResult struct {
+	Config         topology.Config
+	PacketHops     uint64
+	Packets        uint64
+	AvgHops        float64
+	UtilizationPct float64
+	UsedLinks      int
+	// GlobalMsgShare is the fraction of messages crossing a global link
+	// (meaningful for the dragonfly and the fat-tree top stage).
+	GlobalMsgShare float64
+}
+
+// Analysis is the full result for one workload configuration: one row of
+// Table 1 plus one row of Table 3.
+type Analysis struct {
+	App      string
+	Ranks    int
+	WallTime float64
+
+	// Table 1 accounting (caller-side volumes).
+	VolMB    float64
+	P2PPct   float64
+	CollPct  float64
+	RateMBps float64
+
+	// MPI-level metrics (Table 3, left block). HasP2P is false for
+	// purely collective workloads, for which the paper reports N/A.
+	HasP2P       bool
+	Peers        int
+	RankDistance float64
+	RankLocality float64 // percent
+	Selectivity  float64
+
+	// System-level metrics per topology (Table 3, right blocks); nil
+	// when Options.SkipTopologies is set.
+	Torus     *TopoResult
+	FatTree   *TopoResult
+	Dragonfly *TopoResult
+
+	// Acc retains the accumulated matrices for follow-up analyses
+	// (figures, multi-core study, mapping experiments).
+	Acc *comm.Accumulated
+}
+
+// AnalyzeTrace runs the full pipeline on a materialized trace.
+func AnalyzeTrace(t *trace.Trace, opts Options) (*Analysis, error) {
+	acc, err := comm.Accumulate(t, comm.AccumulateOptions{PacketSize: opts.PacketSize, Strategy: opts.Strategy})
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeAccumulated(acc, opts)
+}
+
+// AnalyzeAccumulated runs the pipeline on pre-accumulated matrices.
+func AnalyzeAccumulated(acc *comm.Accumulated, opts Options) (*Analysis, error) {
+	q := opts.coverage()
+	a := &Analysis{
+		App:      acc.Meta.App,
+		Ranks:    acc.Meta.Ranks,
+		WallTime: acc.Meta.WallTime,
+		Acc:      acc,
+	}
+	totalCaller := acc.CallerP2PBytes + acc.CallerCollBytes
+	a.VolMB = float64(totalCaller) / 1e6
+	if totalCaller > 0 {
+		a.P2PPct = 100 * float64(acc.CallerP2PBytes) / float64(totalCaller)
+		a.CollPct = 100 - a.P2PPct
+	}
+	if acc.Meta.WallTime > 0 {
+		a.RateMBps = a.VolMB / acc.Meta.WallTime
+	}
+
+	if acc.P2P.TotalBytes() > 0 {
+		a.HasP2P = true
+		a.Peers, _ = metrics.Peers(acc.P2P)
+		var err error
+		if a.RankDistance, err = metrics.RankDistance(acc.P2P, q); err != nil {
+			return nil, err
+		}
+		if a.RankLocality, err = metrics.RankLocality(acc.P2P, q); err != nil {
+			return nil, err
+		}
+		if a.Selectivity, err = metrics.Selectivity(acc.P2P, q); err != nil {
+			return nil, err
+		}
+	}
+
+	if !opts.SkipTopologies {
+		torCfg, ftCfg, dfCfg, err := topology.Configs(a.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range []topology.Config{torCfg, ftCfg, dfCfg} {
+			res, err := runTopology(acc, cfg, opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s on %s%s: %w", a.App, cfg.Kind, cfg, err)
+			}
+			switch cfg.Kind {
+			case "torus":
+				a.Torus = res
+			case "fattree":
+				a.FatTree = res
+			case "dragonfly":
+				a.Dragonfly = res
+			}
+		}
+	}
+	return a, nil
+}
+
+func runTopology(acc *comm.Accumulated, cfg topology.Config, opts Options) (*TopoResult, error) {
+	topo, err := cfg.Build()
+	if err != nil {
+		return nil, err
+	}
+	mp, err := mapping.Consecutive(acc.Meta.Ranks, topo.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	res, err := netmodel.Run(acc.Wire, topo, mp, netmodel.Options{
+		BandwidthBytesPerSec: opts.BandwidthBytesPerSec,
+		WallTime:             acc.Meta.WallTime,
+		TrackLinks:           !opts.SkipLinkTracking,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TopoResult{
+		Config:         cfg,
+		PacketHops:     res.PacketHops,
+		Packets:        res.Packets,
+		AvgHops:        res.AvgHops,
+		UtilizationPct: res.UtilizationPct,
+		UsedLinks:      res.UsedLinks,
+		GlobalMsgShare: res.GlobalMsgShare,
+	}, nil
+}
+
+// AnalyzeApp generates the synthetic trace for a workload configuration
+// and analyzes it.
+func AnalyzeApp(name string, ranks int, opts Options) (*Analysis, error) {
+	app, err := workloads.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	t, err := app.Generate(ranks)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeTrace(t, opts)
+}
+
+// ErrNoSuchExperiment is returned by RunExperiment for unknown IDs.
+var ErrNoSuchExperiment = errors.New("core: unknown experiment")

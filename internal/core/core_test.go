@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netloc/internal/trace"
+)
+
+func analyze(t *testing.T, app string, ranks int, opts Options) *Analysis {
+	t.Helper()
+	a, err := AnalyzeApp(app, ranks, opts)
+	if err != nil {
+		t.Fatalf("AnalyzeApp(%s, %d): %v", app, ranks, err)
+	}
+	return a
+}
+
+func TestAnalyzeAppUnknown(t *testing.T) {
+	if _, err := AnalyzeApp("NoSuchApp", 8, Options{}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := AnalyzeApp("AMG", 12345, Options{}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestAnalyzeLULESH64(t *testing.T) {
+	a := analyze(t, "LULESH", 64, Options{})
+	if !a.HasP2P {
+		t.Fatal("LULESH must have p2p traffic")
+	}
+	if a.Peers != 26 {
+		t.Errorf("peers = %d, want 26", a.Peers)
+	}
+	// Paper: rank distance 15.7, selectivity 4.5 for LULESH-64; allow a
+	// generous band around the published values.
+	if a.RankDistance < 12 || a.RankDistance > 20 {
+		t.Errorf("rank distance = %v, want ~16", a.RankDistance)
+	}
+	if a.Selectivity < 3 || a.Selectivity > 8 {
+		t.Errorf("selectivity = %v, want ~5", a.Selectivity)
+	}
+	if math.Abs(a.RankLocality-100/a.RankDistance) > 1e-9 {
+		t.Errorf("locality %v inconsistent with distance %v", a.RankLocality, a.RankDistance)
+	}
+	// All three topologies evaluated.
+	for name, tr := range map[string]*TopoResult{"torus": a.Torus, "fattree": a.FatTree, "dragonfly": a.Dragonfly} {
+		if tr == nil {
+			t.Fatalf("%s result missing", name)
+		}
+		if tr.PacketHops == 0 || tr.AvgHops <= 0 {
+			t.Errorf("%s: empty result %+v", name, tr)
+		}
+	}
+	// Paper's finding: for small rank counts the torus has the lowest
+	// average hop count, the dragonfly the highest.
+	if !(a.Torus.AvgHops < a.FatTree.AvgHops && a.FatTree.AvgHops < a.Dragonfly.AvgHops) {
+		t.Errorf("hop ordering violated: torus %v, fattree %v, dragonfly %v",
+			a.Torus.AvgHops, a.FatTree.AvgHops, a.Dragonfly.AvgHops)
+	}
+	// Utilization far below 1% (Table 3: ~0.0004..0.0016%).
+	for name, tr := range map[string]*TopoResult{"torus": a.Torus, "fattree": a.FatTree, "dragonfly": a.Dragonfly} {
+		if tr.UtilizationPct <= 0 || tr.UtilizationPct > 0.1 {
+			t.Errorf("%s utilization = %v%%", name, tr.UtilizationPct)
+		}
+	}
+}
+
+func TestAnalyzeBigFFTNoP2P(t *testing.T) {
+	a := analyze(t, "BigFFT", 9, Options{})
+	if a.HasP2P {
+		t.Fatal("BigFFT should have no p2p")
+	}
+	if a.Peers != 0 || a.RankDistance != 0 || a.Selectivity != 0 {
+		t.Fatalf("MPI metrics should be zero/N-A: %+v", a)
+	}
+	// ... but the wire traffic still drives the topologies.
+	if a.Torus.PacketHops == 0 {
+		t.Fatal("BigFFT wire traffic missing")
+	}
+	// BigFFT is the only workload with utilization beyond 1% (paper 6.3).
+	if a.Torus.UtilizationPct < 1 {
+		t.Errorf("BigFFT torus utilization = %v%%, want > 1%%", a.Torus.UtilizationPct)
+	}
+	// Fat-tree on one switch: every pair exactly 2 hops.
+	if a.FatTree.AvgHops != 2 {
+		t.Errorf("fat tree avg hops = %v, want 2", a.FatTree.AvgHops)
+	}
+}
+
+func TestAnalyzeSkipTopologies(t *testing.T) {
+	a := analyze(t, "AMG", 8, Options{SkipTopologies: true})
+	if a.Torus != nil || a.FatTree != nil || a.Dragonfly != nil {
+		t.Fatal("topology results should be nil")
+	}
+	if a.Peers != 7 {
+		t.Errorf("peers = %d, want 7", a.Peers)
+	}
+}
+
+func TestAnalyzeSkipLinkTracking(t *testing.T) {
+	a := analyze(t, "AMG", 8, Options{SkipLinkTracking: true})
+	if a.Torus.UtilizationPct != 0 || a.Torus.UsedLinks != 0 {
+		t.Fatal("link metrics should be zero without tracking")
+	}
+	if a.Torus.PacketHops == 0 {
+		t.Fatal("hop metrics should still be computed")
+	}
+}
+
+func TestAnalyzeTable1Accounting(t *testing.T) {
+	a := analyze(t, "CESAR MOCFE", 64, Options{SkipTopologies: true})
+	// Table 1: 19.0 MB, 5.01% p2p.
+	if math.Abs(a.VolMB-19.0) > 0.5 {
+		t.Errorf("volume = %v MB, want 19", a.VolMB)
+	}
+	if math.Abs(a.P2PPct-5.01) > 1 {
+		t.Errorf("p2p share = %v%%, want ~5%%", a.P2PPct)
+	}
+	if math.Abs(a.CollPct+a.P2PPct-100) > 1e-9 {
+		t.Error("shares do not sum to 100")
+	}
+	if a.RateMBps <= 0 {
+		t.Error("rate missing")
+	}
+}
+
+func TestAnalyzeTraceCustom(t *testing.T) {
+	tr := &trace.Trace{
+		Meta: trace.Meta{App: "custom", Ranks: 4, WallTime: 1},
+		Events: []trace.Event{
+			{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 9000},
+			{Rank: 2, Op: trace.OpSend, Peer: 3, Root: -1, Bytes: 1000},
+		},
+	}
+	a, err := AnalyzeTrace(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.App != "custom" || a.Ranks != 4 {
+		t.Fatalf("meta lost: %+v", a)
+	}
+	if a.Peers != 1 {
+		t.Errorf("peers = %d", a.Peers)
+	}
+	if a.RankDistance != 1 {
+		t.Errorf("distance = %v, want 1 (both pairs adjacent)", a.RankDistance)
+	}
+	if a.Selectivity != 1 {
+		t.Errorf("selectivity = %v, want 1", a.Selectivity)
+	}
+}
+
+func TestAnalyzeCoverageOption(t *testing.T) {
+	// With 100% coverage the distance includes the farthest partner.
+	tr := &trace.Trace{
+		Meta: trace.Meta{App: "c", Ranks: 10, WallTime: 1},
+		Events: []trace.Event{
+			{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 95},
+			{Rank: 0, Op: trace.OpSend, Peer: 9, Root: -1, Bytes: 5},
+		},
+	}
+	a90, err := AnalyzeTrace(tr, Options{SkipTopologies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a100, err := AnalyzeTrace(tr, Options{Coverage: 1.0, SkipTopologies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a90.RankDistance != 1 || a100.RankDistance != 9 {
+		t.Fatalf("coverage option ignored: %v / %v", a90.RankDistance, a100.RankDistance)
+	}
+}
+
+func TestAnalysisConsistencyInvariants(t *testing.T) {
+	// Across a mixed set of configurations: selectivity <= peers, avg
+	// hops within the topology's diameter bounds, packets consistent.
+	for _, ref := range []WorkloadRef{
+		{"AMG", 27}, {"Crystal Router", 100}, {"MiniFE", 18},
+		{"PARTISN", 168}, {"EXMATEX CMC 2D", 64},
+	} {
+		a := analyze(t, ref.App, ref.Ranks, Options{})
+		if a.HasP2P && a.Selectivity > float64(a.Peers) {
+			t.Errorf("%s: selectivity %v > peers %d", ref.App, a.Selectivity, a.Peers)
+		}
+		if a.Dragonfly.AvgHops > 5 {
+			t.Errorf("%s: dragonfly hops %v > 5", ref.App, a.Dragonfly.AvgHops)
+		}
+		if a.FatTree.AvgHops > 6 {
+			t.Errorf("%s: fat tree hops %v > 6", ref.App, a.FatTree.AvgHops)
+		}
+		if a.Torus.Packets != a.FatTree.Packets || a.Torus.Packets != a.Dragonfly.Packets {
+			t.Errorf("%s: packet counts differ across topologies", ref.App)
+		}
+	}
+}

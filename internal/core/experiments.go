@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"netloc/internal/metrics"
+	"netloc/internal/netmodel"
+	"netloc/internal/topology"
+	"netloc/internal/workloads"
+)
+
+// WorkloadRef names one (application, rank count) configuration.
+type WorkloadRef struct {
+	App   string
+	Ranks int
+}
+
+// AllConfigurations lists every configuration of the study in table order
+// (alphabetical app, ascending ranks).
+func AllConfigurations() []WorkloadRef {
+	var out []WorkloadRef
+	for _, a := range workloads.All() {
+		for _, r := range a.RankCounts() {
+			out = append(out, WorkloadRef{App: a.Name, Ranks: r})
+		}
+	}
+	return out
+}
+
+// Table1Row is one row of the paper's Table 1 (workload overview).
+type Table1Row struct {
+	App      string
+	Star     bool
+	Ranks    int
+	TimeS    float64
+	VolMB    float64
+	P2PPct   float64
+	CollPct  float64
+	RateMBps float64
+}
+
+// Table1 regenerates the workload-overview table by generating and
+// accounting every synthetic trace.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, app := range workloads.All() {
+		for _, ranks := range app.RankCounts() {
+			t, err := app.Generate(ranks)
+			if err != nil {
+				return nil, err
+			}
+			p2p, coll := t.TotalBytes()
+			total := float64(p2p + coll)
+			row := Table1Row{
+				App:   app.Name,
+				Star:  app.Star,
+				Ranks: ranks,
+				TimeS: t.Meta.WallTime,
+				VolMB: total / 1e6,
+			}
+			if total > 0 {
+				row.P2PPct = 100 * float64(p2p) / total
+				row.CollPct = 100 - row.P2PPct
+			}
+			if t.Meta.WallTime > 0 {
+				row.RateMBps = row.VolMB / t.Meta.WallTime
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Table2Row is one row of the topology-configuration table.
+type Table2Row struct {
+	Size      int
+	Torus     topology.Config
+	FatTree   topology.Config
+	Dragonfly topology.Config
+}
+
+// Table2 regenerates the topology configuration table for the paper's
+// size ladder.
+func Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, size := range topology.PaperSizes() {
+		tor, ft, df, err := topology.Configs(size)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{Size: size, Torus: tor, FatTree: ft, Dragonfly: df})
+	}
+	return rows, nil
+}
+
+// Table3 runs the full characterization (MPI-level metrics plus all three
+// topologies) for every configuration.
+func Table3(opts Options) ([]*Analysis, error) {
+	var rows []*Analysis
+	for _, ref := range AllConfigurations() {
+		a, err := AnalyzeApp(ref.App, ref.Ranks, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%d: %w", ref.App, ref.Ranks, err)
+		}
+		a.Acc = nil // release matrices; Table 3 only needs the scalars
+		rows = append(rows, a)
+	}
+	return rows, nil
+}
+
+// Table4Workloads lists the configurations of the dimensionality study.
+var Table4Workloads = []WorkloadRef{
+	{App: "AMG", Ranks: 216},
+	{App: "AMG", Ranks: 1728},
+	{App: "Boxlib CNS", Ranks: 64},
+	{App: "Boxlib CNS", Ranks: 256},
+	{App: "Boxlib CNS", Ranks: 1024},
+	{App: "LULESH", Ranks: 64},
+	{App: "LULESH", Ranks: 512},
+	{App: "MultiGrid_C", Ranks: 125},
+	{App: "MultiGrid_C", Ranks: 1000},
+	{App: "PARTISN", Ranks: 168},
+}
+
+// Table4Row is one row of the dimensionality table: rank locality (in
+// percent) under the best 1D, 2D, and 3D foldings.
+type Table4Row struct {
+	App    string
+	Ranks  int
+	Loc1D  float64
+	Loc2D  float64
+	Loc3D  float64
+	Grid2D []int
+	Grid3D []int
+}
+
+// Table4 regenerates the dimensionality study.
+func Table4(opts Options) ([]Table4Row, error) {
+	q := opts.coverage()
+	var rows []Table4Row
+	for _, ref := range Table4Workloads {
+		o := opts
+		o.SkipTopologies = true
+		a, err := AnalyzeApp(ref.App, ref.Ranks, o)
+		if err != nil {
+			return nil, err
+		}
+		if !a.HasP2P {
+			return nil, fmt.Errorf("core: %s/%d has no p2p traffic for Table 4", ref.App, ref.Ranks)
+		}
+		row := Table4Row{App: ref.App, Ranks: ref.Ranks}
+		r1, err := metrics.DimLocality(a.Acc.P2P, 1, q)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := metrics.DimLocality(a.Acc.P2P, 2, q)
+		if err != nil {
+			return nil, err
+		}
+		r3, err := metrics.DimLocality(a.Acc.P2P, 3, q)
+		if err != nil {
+			return nil, err
+		}
+		row.Loc1D, row.Loc2D, row.Loc3D = r1.LocalityPct, r2.LocalityPct, r3.LocalityPct
+		row.Grid2D, row.Grid3D = r2.Grid, r3.Grid
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure1 returns the sorted partner-volume curve of one rank (the paper
+// uses LULESH rank 0).
+func Figure1(app string, ranks, rank int, opts Options) ([]float64, error) {
+	o := opts
+	o.SkipTopologies = true
+	a, err := AnalyzeApp(app, ranks, o)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.PartnerCurve(a.Acc.P2P, rank)
+}
+
+// Figure3Curve is the mean cumulative traffic-share curve of one workload.
+type Figure3Curve struct {
+	App   string
+	Ranks int
+	// Shares[i] is the mean share of a rank's volume covered by its i+1
+	// largest partners.
+	Shares []float64
+	// Selectivity is where the curve crosses the coverage threshold.
+	Selectivity float64
+}
+
+// Figure3 computes the selectivity trend curves for all workloads at their
+// largest configuration (the paper plots all workloads in one figure).
+func Figure3(opts Options) ([]Figure3Curve, error) {
+	o := opts
+	o.SkipTopologies = true
+	var out []Figure3Curve
+	for _, app := range workloads.All() {
+		counts := app.RankCounts()
+		ranks := counts[len(counts)-1]
+		a, err := AnalyzeApp(app.Name, ranks, o)
+		if err != nil {
+			return nil, err
+		}
+		if !a.HasP2P {
+			continue // the paper's figure omits the pure-collective apps
+		}
+		shares, err := metrics.CumulativeCurve(a.Acc.P2P)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure3Curve{
+			App: app.Name, Ranks: ranks, Shares: shares, Selectivity: a.Selectivity,
+		})
+	}
+	return out, nil
+}
+
+// Figure4 computes the selectivity-scaling curves of one application
+// across all its configurations (the paper shows AMG).
+func Figure4(appName string, opts Options) ([]Figure3Curve, error) {
+	app, err := workloads.Lookup(appName)
+	if err != nil {
+		return nil, err
+	}
+	o := opts
+	o.SkipTopologies = true
+	var out []Figure3Curve
+	for _, ranks := range app.RankCounts() {
+		a, err := AnalyzeApp(appName, ranks, o)
+		if err != nil {
+			return nil, err
+		}
+		if !a.HasP2P {
+			continue
+		}
+		shares, err := metrics.CumulativeCurve(a.Acc.P2P)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure3Curve{
+			App: appName, Ranks: ranks, Shares: shares, Selectivity: a.Selectivity,
+		})
+	}
+	return out, nil
+}
+
+// Figure5CoreCounts is the cores-per-socket sweep of the multi-core study.
+var Figure5CoreCounts = []int{1, 2, 4, 8, 16, 32, 48}
+
+// Figure5Series is the relative inter-node traffic of one workload.
+type Figure5Series struct {
+	App    string
+	Ranks  int
+	Cores  []int
+	Shares []float64 // inter-node volume relative to 1 rank/node
+}
+
+// Figure5 runs the multi-core scaling study over every configuration with
+// at least minRanks ranks (the paper uses 512: "smaller configurations are
+// not considered since a problem size in the same magnitude as the number
+// of cores would sophisticate scaling effects"). Traffic includes both
+// point-to-point and collective messages.
+func Figure5(minRanks int, opts Options) ([]Figure5Series, error) {
+	o := opts
+	o.SkipTopologies = true
+	var out []Figure5Series
+	for _, ref := range AllConfigurations() {
+		if ref.Ranks < minRanks {
+			continue
+		}
+		a, err := AnalyzeApp(ref.App, ref.Ranks, o)
+		if err != nil {
+			return nil, err
+		}
+		shares, err := netmodel.MultiCoreSeries(a.Acc.Wire, Figure5CoreCounts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure5Series{
+			App: ref.App, Ranks: ref.Ranks,
+			Cores: append([]int(nil), Figure5CoreCounts...), Shares: shares,
+		})
+	}
+	return out, nil
+}
+
+// Claims summarizes the paper's headline findings over the full grid.
+type Claims struct {
+	// Configurations analyzed (with p2p traffic for the selectivity
+	// claim; all for utilization).
+	P2PConfigs   int
+	TotalConfigs int
+	// SelectivityLE10Pct is the share of p2p configurations whose
+	// selectivity is at most 10 (paper: ~89%).
+	SelectivityLE10Pct float64
+	// UtilizationLT1Pct is the share of (configuration, topology) cells
+	// with utilization below 1% (paper: ~93%).
+	UtilizationLT1Pct float64
+	// DragonflyGlobalSharePct is the average share of messages crossing
+	// a dragonfly global link (paper: ~95%).
+	DragonflyGlobalSharePct float64
+	// TorusWinsSmall / FatTreeWinsLarge count configurations where each
+	// topology has the lowest average hops, split at 256 ranks (paper:
+	// torus favorable below, fat tree above).
+	TorusWinsSmall   int
+	SmallConfigs     int
+	FatTreeWinsLarge int
+	LargeConfigs     int
+	// MaxSelectivity is the largest mean selectivity seen (paper: 13 for
+	// AMR at 1728 ranks, excluding the CNS outlier).
+	MaxSelectivity    float64
+	MaxSelectivityApp string
+}
+
+// SummarizeClaims derives the headline numbers from Table 3 rows.
+func SummarizeClaims(rows []*Analysis) Claims {
+	var c Claims
+	var globalShares []float64
+	utilCells, utilLow := 0, 0
+	for _, a := range rows {
+		c.TotalConfigs++
+		if a.HasP2P {
+			c.P2PConfigs++
+			if a.Selectivity <= 10 {
+				c.SelectivityLE10Pct++
+			}
+			if a.Selectivity > c.MaxSelectivity {
+				c.MaxSelectivity = a.Selectivity
+				c.MaxSelectivityApp = fmt.Sprintf("%s (%d ranks)", a.App, a.Ranks)
+			}
+		}
+		for _, tr := range []*TopoResult{a.Torus, a.FatTree, a.Dragonfly} {
+			if tr == nil {
+				continue
+			}
+			utilCells++
+			if tr.UtilizationPct < 1 {
+				utilLow++
+			}
+		}
+		if a.Dragonfly != nil {
+			globalShares = append(globalShares, a.Dragonfly.GlobalMsgShare)
+		}
+		if a.Torus != nil && a.FatTree != nil && a.Dragonfly != nil {
+			minHops := a.Torus.AvgHops
+			winner := "torus"
+			if a.FatTree.AvgHops < minHops {
+				minHops = a.FatTree.AvgHops
+				winner = "fattree"
+			}
+			if a.Dragonfly.AvgHops < minHops {
+				winner = "dragonfly"
+			}
+			if a.Ranks < 256 {
+				c.SmallConfigs++
+				if winner == "torus" {
+					c.TorusWinsSmall++
+				}
+			} else {
+				c.LargeConfigs++
+				if winner == "fattree" {
+					c.FatTreeWinsLarge++
+				}
+			}
+		}
+	}
+	if c.P2PConfigs > 0 {
+		c.SelectivityLE10Pct = 100 * c.SelectivityLE10Pct / float64(c.P2PConfigs)
+	}
+	if utilCells > 0 {
+		c.UtilizationLT1Pct = 100 * float64(utilLow) / float64(utilCells)
+	}
+	if len(globalShares) > 0 {
+		var s float64
+		for _, g := range globalShares {
+			s += g
+		}
+		c.DragonflyGlobalSharePct = 100 * s / float64(len(globalShares))
+	}
+	return c
+}
+
+// SortAnalyses orders rows by app name then rank count (table order).
+func SortAnalyses(rows []*Analysis) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].App != rows[j].App {
+			return rows[i].App < rows[j].App
+		}
+		return rows[i].Ranks < rows[j].Ranks
+	})
+}

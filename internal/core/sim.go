@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"netloc/internal/mapping"
+	"netloc/internal/simnet"
+	"netloc/internal/topology"
+	"netloc/internal/workloads"
+)
+
+// SimRow is one row of the dynamic-effects table (an extension of the
+// paper: its static model deliberately ignores timing, and names dynamic
+// effects as future work). One row covers one workload configuration on
+// one topology.
+type SimRow struct {
+	App      string
+	Ranks    int
+	Topology string
+	simnet.Stats
+}
+
+// SimWorkloads lists the configurations the sim experiment covers by
+// default: one small and one medium configuration per communication
+// family, kept at sizes where the message-level simulation stays quick.
+var SimWorkloads = []WorkloadRef{
+	{App: "LULESH", Ranks: 64},
+	{App: "MiniFE", Ranks: 144},
+	{App: "CESAR MOCFE", Ranks: 64},
+	{App: "Crystal Router", Ranks: 100},
+	{App: "PARTISN", Ranks: 168},
+	{App: "AMR_Miniapp", Ranks: 64},
+	{App: "BigFFT", Ranks: 100},
+}
+
+// SimTable simulates each configuration on its Table 2 torus, fat tree,
+// and dragonfly.
+func SimTable(refs []WorkloadRef, opts Options) ([]SimRow, error) {
+	if len(refs) == 0 {
+		refs = SimWorkloads
+	}
+	var rows []SimRow
+	for _, ref := range refs {
+		app, err := workloads.Lookup(ref.App)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := app.Generate(ref.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		torCfg, ftCfg, dfCfg, err := topology.Configs(ref.Ranks)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range []topology.Config{torCfg, ftCfg, dfCfg} {
+			topo, err := cfg.Build()
+			if err != nil {
+				return nil, err
+			}
+			mp, err := mapping.Consecutive(ref.Ranks, topo.Nodes())
+			if err != nil {
+				return nil, err
+			}
+			stats, err := simnet.Simulate(tr, topo, mp, simnet.Options{
+				BandwidthBytesPerSec: opts.BandwidthBytesPerSec,
+				PacketBytes:          opts.PacketSize,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: sim %s/%d on %s: %w", ref.App, ref.Ranks, topo.Name(), err)
+			}
+			rows = append(rows, SimRow{
+				App: ref.App, Ranks: ref.Ranks, Topology: topo.Kind(), Stats: *stats,
+			})
+		}
+	}
+	return rows, nil
+}

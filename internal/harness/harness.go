@@ -1,0 +1,235 @@
+// Package harness dispatches the named experiments of the study —
+// table1..table4, fig1, fig3..fig5, claims — to the core drivers and
+// report renderers. It backs cmd/locality and keeps the experiment
+// plumbing testable.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"netloc/internal/core"
+	"netloc/internal/report"
+	"netloc/internal/trace"
+)
+
+// Params selects an experiment and its inputs.
+type Params struct {
+	// Experiment is one of Experiments().
+	Experiment string
+	// App selects the workload for fig1 (default LULESH) and fig4
+	// (default AMG).
+	App string
+	// Ranks is the configuration for fig1 (default 64).
+	Ranks int
+	// Rank is the source rank for fig1.
+	Rank int
+	// MinRanks is the cutoff for fig5 (default 512, the paper's choice).
+	MinRanks int
+	// CSV selects CSV output instead of aligned text.
+	CSV bool
+	// Analysis options (coverage, packet size, bandwidth).
+	Options core.Options
+}
+
+type runner struct {
+	description string
+	run         func(w io.Writer, p Params) error
+}
+
+var experiments = map[string]runner{
+	"table1": {
+		description: "workload overview: ranks, time, volume, p2p/coll split, throughput",
+		run: func(w io.Writer, p Params) error {
+			rows, err := core.Table1()
+			if err != nil {
+				return err
+			}
+			return report.Table1(w, rows, p.CSV)
+		},
+	},
+	"table2": {
+		description: "topology configurations at every scale",
+		run: func(w io.Writer, p Params) error {
+			rows, err := core.Table2()
+			if err != nil {
+				return err
+			}
+			return report.Table2(w, rows, p.CSV)
+		},
+	},
+	"table3": {
+		description: "main characterization: MPI-level metrics and all three topologies",
+		run: func(w io.Writer, p Params) error {
+			rows, err := core.Table3(p.Options)
+			if err != nil {
+				return err
+			}
+			return report.Table3(w, rows, p.CSV)
+		},
+	},
+	"table4": {
+		description: "rank locality under 1D/2D/3D foldings",
+		run: func(w io.Writer, p Params) error {
+			rows, err := core.Table4(p.Options)
+			if err != nil {
+				return err
+			}
+			return report.Table4(w, rows, p.CSV)
+		},
+	},
+	"fig1": {
+		description: "sorted partner-volume curve of one rank (default LULESH/64 rank 0)",
+		run: func(w io.Writer, p Params) error {
+			app := p.App
+			if app == "" {
+				app = "LULESH"
+			}
+			ranks := p.Ranks
+			if ranks == 0 {
+				ranks = 64
+			}
+			curve, err := core.Figure1(app, ranks, p.Rank, p.Options)
+			if err != nil {
+				return err
+			}
+			label := fmt.Sprintf("%s/%d rank %d bytes", app, ranks, p.Rank)
+			return report.Curve(w, label, curve, p.CSV)
+		},
+	},
+	"fig3": {
+		description: "cumulative selectivity trends for all workloads",
+		run: func(w io.Writer, p Params) error {
+			curves, err := core.Figure3(p.Options)
+			if err != nil {
+				return err
+			}
+			return report.Figure3(w, curves, p.CSV)
+		},
+	},
+	"fig4": {
+		description: "selectivity scaling across one app's configurations (default AMG)",
+		run: func(w io.Writer, p Params) error {
+			app := p.App
+			if app == "" {
+				app = "AMG"
+			}
+			curves, err := core.Figure4(app, p.Options)
+			if err != nil {
+				return err
+			}
+			return report.Figure3(w, curves, p.CSV)
+		},
+	},
+	"fig5": {
+		description: "multi-core inter-node traffic scaling",
+		run: func(w io.Writer, p Params) error {
+			minRanks := p.MinRanks
+			if minRanks == 0 {
+				minRanks = 512
+			}
+			series, err := core.Figure5(minRanks, p.Options)
+			if err != nil {
+				return err
+			}
+			return report.Figure5(w, series, p.CSV)
+		},
+	},
+	"sim": {
+		description: "EXTENSION: flow-level simulation (latency, queueing, slackness) per topology",
+		run: func(w io.Writer, p Params) error {
+			rows, err := core.SimTable(nil, p.Options)
+			if err != nil {
+				return err
+			}
+			return report.SimTable(w, rows, p.CSV)
+		},
+	},
+	"score": {
+		description: "EXTENSION: quantitative reproduction scorecard vs the paper's anchor values",
+		run: func(w io.Writer, p Params) error {
+			rows, err := core.Table3(p.Options)
+			if err != nil {
+				return err
+			}
+			return report.Scorecard(w, core.Scorecard(rows), p.CSV)
+		},
+	},
+	"claims": {
+		description: "headline findings over the full configuration grid",
+		run: func(w io.Writer, p Params) error {
+			rows, err := core.Table3(p.Options)
+			if err != nil {
+				return err
+			}
+			return report.Claims(w, core.SummarizeClaims(rows))
+		},
+	},
+}
+
+// Experiments returns the known experiment names in alphabetical order.
+func Experiments() []string {
+	out := make([]string, 0, len(experiments))
+	for name := range experiments {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns a one-line description of an experiment.
+func Describe(name string) (string, error) {
+	r, ok := experiments[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", core.ErrNoSuchExperiment, name)
+	}
+	return r.description, nil
+}
+
+// Run executes the named experiment, writing its table or series to w.
+func Run(w io.Writer, p Params) error {
+	r, ok := experiments[p.Experiment]
+	if !ok {
+		return fmt.Errorf("%w: %q (known: %v)", core.ErrNoSuchExperiment, p.Experiment, Experiments())
+	}
+	return r.run(w, p)
+}
+
+// AnalyzeTraceFile analyzes a materialized trace and renders it as a
+// single Table 3 row.
+func AnalyzeTraceFile(w io.Writer, t *trace.Trace, p Params) error {
+	a, err := core.AnalyzeTrace(t, p.Options)
+	if err != nil {
+		return err
+	}
+	return report.Table3(w, []*core.Analysis{a}, p.CSV)
+}
+
+// RunAll executes every experiment, writing <name>.txt (or .csv) files
+// into dir. Used by cmd/locality -all to regenerate the results tree in
+// one call. Slow experiments run once each; errors abort the sweep.
+func RunAll(dir string, p Params) error {
+	ext := ".txt"
+	if p.CSV {
+		ext = ".csv"
+	}
+	for _, name := range Experiments() {
+		f, err := os.Create(filepath.Join(dir, name+ext))
+		if err != nil {
+			return err
+		}
+		q := p
+		q.Experiment = name
+		if err := Run(f, q); err != nil {
+			f.Close()
+			return fmt.Errorf("harness: %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

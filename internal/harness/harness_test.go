@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netloc/internal/core"
+	"netloc/internal/trace"
+)
+
+func TestExperimentsListed(t *testing.T) {
+	names := Experiments()
+	want := []string{"claims", "fig1", "fig3", "fig4", "fig5", "score", "sim", "table1", "table2", "table3", "table4"}
+	if len(names) != len(want) {
+		t.Fatalf("experiments = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("experiments = %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		desc, err := Describe(n)
+		if err != nil || desc == "" {
+			t.Errorf("Describe(%s) = %q, %v", n, desc, err)
+		}
+	}
+	if _, err := Describe("nope"); !errors.Is(err, core.ErrNoSuchExperiment) {
+		t.Fatalf("Describe(nope) err = %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := Run(&bytes.Buffer{}, Params{Experiment: "table99"})
+	if !errors.Is(err, core.ErrNoSuchExperiment) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, Params{Experiment: "table2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"(2,2,2)", "(48,3)", "13824", "(10,5,5)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable1CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, Params{Experiment: "table1", CSV: true}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 39 { // header + 38 rows
+		t.Fatalf("csv lines = %d, want 39", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Application,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunFig1Defaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, Params{Experiment: "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LULESH/64 rank 0") {
+		t.Errorf("fig1 output: %s", buf.String())
+	}
+}
+
+func TestRunFig1CustomWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	err := Run(&buf, Params{Experiment: "fig1", App: "MiniFE", Ranks: 18, Rank: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MiniFE/18 rank 4") {
+		t.Errorf("fig1 output: %s", buf.String())
+	}
+}
+
+func TestRunFig4Default(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, Params{Experiment: "fig4"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AMG/1728") {
+		t.Errorf("fig4 output missing AMG/1728")
+	}
+}
+
+func TestRunFig5MinRanksOverride(t *testing.T) {
+	var buf bytes.Buffer
+	// With a 1000-rank cutoff only the very largest configurations appear.
+	if err := Run(&buf, Params{Experiment: "fig5", MinRanks: 1200}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1728") {
+		t.Errorf("fig5 output missing 1728-rank rows:\n%s", out)
+	}
+	if strings.Contains(out, "LULESH") {
+		t.Errorf("fig5 cutoff ignored:\n%s", out)
+	}
+}
+
+func TestAnalyzeTraceFile(t *testing.T) {
+	tr := &trace.Trace{
+		Meta: trace.Meta{App: "custom", Ranks: 8, WallTime: 1},
+		Events: []trace.Event{
+			{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 5000},
+			{Rank: 3, Op: trace.OpSend, Peer: 7, Root: -1, Bytes: 100},
+		},
+	}
+	var buf bytes.Buffer
+	if err := AnalyzeTraceFile(&buf, tr, Params{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "custom") {
+		t.Errorf("trace analysis output:\n%s", out)
+	}
+}
+
+func TestAnalyzeTraceFileBadTrace(t *testing.T) {
+	bad := &trace.Trace{Meta: trace.Meta{Ranks: 0}}
+	if err := AnalyzeTraceFile(&bytes.Buffer{}, bad, Params{}); err == nil {
+		t.Fatal("bad trace accepted")
+	}
+}
+
+func TestRunAllWritesEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	if err := RunAll(dir, Params{CSV: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Experiments() {
+		info, err := os.Stat(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s: empty output", name)
+		}
+	}
+}
+
+func TestRunAllBadDirectory(t *testing.T) {
+	if err := RunAll("/nonexistent-dir-xyz", Params{Experiment: "table2"}); err == nil {
+		t.Fatal("bad directory accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package mapping
+
+import (
+	"testing"
+
+	"netloc/internal/comm"
+	"netloc/internal/topology"
+)
+
+func TestCostMatchesManualComputation(t *testing.T) {
+	topo, err := topology.NewTorus(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := comm.NewMatrix(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Add(0, 1, 100) // 1 hop under consecutive
+	_ = m.Add(0, 3, 10)  // 2 hops (diagonal on 2x2)
+	mp, err := Consecutive(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Cost(m, topo, mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 100*1+10*2 {
+		t.Fatalf("cost = %v, want 120", c)
+	}
+}
+
+func TestCostValidatesMapping(t *testing.T) {
+	topo, _ := topology.NewTorus(2, 2, 1)
+	m, _ := comm.NewMatrix(8, 0)
+	_ = m.Add(0, 7, 1)
+	mp, _ := Consecutive(4, 4)
+	if _, err := Cost(m, topo, mp); err == nil {
+		t.Fatal("undersized mapping accepted")
+	}
+}
+
+func TestRefineNeverWorsens(t *testing.T) {
+	topo, err := topology.NewTorus(3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := comm.NewMatrix(27, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scrambled heavy pairs.
+	for i := 0; i < 27; i++ {
+		_ = m.Add(i, (i*7+3)%27, uint64(1000*(i+1)))
+	}
+	start, err := Random(27, 27, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Cost(m, topo, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Refine(m, topo, start, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Cost(m, topo, refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before {
+		t.Fatalf("refine worsened cost: %v -> %v", before, after)
+	}
+	if after == before {
+		t.Fatalf("refine found no improvement on a scrambled mapping (cost %v)", before)
+	}
+}
+
+func TestRefineFixedPointOnOptimalRing(t *testing.T) {
+	// A ring mapped perfectly onto a 1D ring torus: no swap can help.
+	topo, err := topology.NewTorus(8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := comm.NewMatrix(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		_ = m.Add(i, (i+1)%8, 100)
+	}
+	ident, err := Consecutive(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Refine(m, topo, ident, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Cost(m, topo, refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 800 { // 8 messages x 1 hop x 100 bytes
+		t.Fatalf("cost = %v, want 800", c)
+	}
+}
+
+func TestRefineRejectsSharedNodes(t *testing.T) {
+	topo, _ := topology.NewTorus(2, 2, 1)
+	m, _ := comm.NewMatrix(4, 0)
+	_ = m.Add(0, 1, 1)
+	shared, err := New([]int{0, 0, 1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Refine(m, topo, shared, 1); err == nil {
+		t.Fatal("shared-node mapping accepted")
+	}
+}
+
+func TestRefineRejectsUndersizedInitial(t *testing.T) {
+	topo, _ := topology.NewTorus(2, 2, 2)
+	m, _ := comm.NewMatrix(8, 0)
+	_ = m.Add(0, 1, 1)
+	small, _ := Consecutive(4, 8)
+	if _, err := Refine(m, topo, small, 1); err == nil {
+		t.Fatal("undersized initial accepted")
+	}
+}
+
+func TestOptimizeBeatsConsecutiveOnColumnPattern(t *testing.T) {
+	// SNAP-like pattern: heavy exchange along columns of a 2D rank grid
+	// whose row length does not match the torus x dimension, so the
+	// consecutive mapping is far from optimal.
+	const cols, rows = 8, 8
+	m, err := comm.NewMatrix(cols*rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < cols; x++ {
+		for y := 0; y < rows; y++ {
+			for oy := 0; oy < rows; oy++ {
+				if oy != y {
+					_ = m.Add(y*cols+x, oy*cols+x, 1000)
+				}
+			}
+		}
+	}
+	topo, err := topology.NewTorus(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := Consecutive(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consCost, err := Cost(m, topo, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(m, topo, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCost, err := Cost(m, topo, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optCost >= consCost {
+		t.Fatalf("optimized %v not better than consecutive %v", optCost, consCost)
+	}
+}

@@ -1,0 +1,248 @@
+// Package netmodel implements the paper's non-temporal network model: it
+// drives a communication matrix over a topology under a rank→node mapping
+// and produces the system-level locality metrics of Section 4.2:
+//
+//	packet hops  (eq. 3): Σ over packets of the hop count of its route
+//	average hops (eq. 4): packet hops / packet count
+//	utilization  (eq. 5): injected volume / (BW · t_execution · #links)
+//
+// The model is static: no congestion, no flow interaction, full capacity
+// for every message — exactly the simplification the paper argues for.
+package netmodel
+
+import (
+	"fmt"
+
+	"netloc/internal/comm"
+	"netloc/internal/mapping"
+	"netloc/internal/topology"
+)
+
+// DefaultBandwidth is the per-link bandwidth the paper assumes (12 GB/s).
+const DefaultBandwidth = 12e9
+
+// Options configures a model run.
+type Options struct {
+	// BandwidthBytesPerSec is the per-link bandwidth; DefaultBandwidth
+	// when zero.
+	BandwidthBytesPerSec float64
+	// WallTime is the execution time of the traced run in seconds
+	// (denominator of eq. 5). Usually taken from the trace metadata.
+	WallTime float64
+	// TrackLinks enables per-link traffic accounting (needed for
+	// utilization, used-link counts, and the global-link share). When
+	// false only hop counts are computed, which is much faster.
+	TrackLinks bool
+}
+
+// Result holds the system-level metrics of one (matrix, topology, mapping)
+// combination.
+type Result struct {
+	Topology string
+	// PacketHops is eq. 3 over all inter-node packets.
+	PacketHops uint64
+	// Packets is the number of inter-node packets.
+	Packets uint64
+	// Messages is the number of inter-node messages.
+	Messages uint64
+	// InterNodeBytes is the injected volume that actually crossed the
+	// network; IntraNodeBytes stayed inside a node (multi-core mappings).
+	InterNodeBytes uint64
+	IntraNodeBytes uint64
+
+	// AvgHops is eq. 4 (0 when no packets crossed the network).
+	AvgHops float64
+
+	// Link accounting (only populated when Options.TrackLinks).
+	LinkBytes []uint64 // per-link transported bytes, parallel to topo.Links()
+	UsedLinks int      // links with nonzero traffic
+	// UtilizationPct is eq. 5 in percent, with #links = UsedLinks.
+	UtilizationPct float64
+	// GlobalMsgShare is the fraction of inter-node messages whose route
+	// crosses at least one global link (the dragonfly analysis of
+	// Section 6.2). Zero for topologies without global links.
+	GlobalMsgShare float64
+	// ByteHops is Σ over messages of bytes·hops — the total link-time
+	// load, useful for energy estimates.
+	ByteHops uint64
+	// ClassUtilizationPct breaks eq. 5 down by link class (terminal /
+	// local / global, used links only). The paper's discussion builds on
+	// this asymmetry: dragonfly global links run much hotter than local
+	// ones, so they could be provisioned at higher bandwidth while local
+	// links are scaled down. Populated only with TrackLinks.
+	ClassUtilizationPct map[topology.LinkClass]float64
+}
+
+// Run evaluates the matrix on the topology under the mapping.
+func Run(m *comm.Matrix, topo topology.Topology, mp *mapping.Mapping, opts Options) (*Result, error) {
+	if mp.Ranks() < m.Ranks() {
+		return nil, fmt.Errorf("netmodel: mapping covers %d ranks, matrix has %d", mp.Ranks(), m.Ranks())
+	}
+	if mp.Nodes() > topo.Nodes() {
+		return nil, fmt.Errorf("netmodel: mapping node space %d exceeds topology %s (%d nodes)",
+			mp.Nodes(), topo.Name(), topo.Nodes())
+	}
+	if opts.WallTime < 0 {
+		return nil, fmt.Errorf("netmodel: negative wall time %v", opts.WallTime)
+	}
+	bw := opts.BandwidthBytesPerSec
+	if bw == 0 {
+		bw = DefaultBandwidth
+	}
+	if bw < 0 {
+		return nil, fmt.Errorf("netmodel: negative bandwidth %v", bw)
+	}
+
+	res := &Result{Topology: topo.Name()}
+	var classes []topology.LinkClass
+	if opts.TrackLinks {
+		res.LinkBytes = make([]uint64, len(topo.Links()))
+		classes = topo.LinkClasses()
+	}
+	var globalMsgs uint64
+	var buf []int
+	var iterErr error
+	m.Each(func(k comm.Key, e comm.Entry) {
+		if iterErr != nil {
+			return
+		}
+		ns, err := mp.NodeOf(k.Src)
+		if err != nil {
+			iterErr = err
+			return
+		}
+		nd, err := mp.NodeOf(k.Dst)
+		if err != nil {
+			iterErr = err
+			return
+		}
+		if ns == nd {
+			res.IntraNodeBytes += e.Bytes
+			return
+		}
+		res.InterNodeBytes += e.Bytes
+		res.Messages += e.Messages
+		res.Packets += e.Packets
+		hops := topo.HopCount(ns, nd)
+		res.PacketHops += e.Packets * uint64(hops)
+		res.ByteHops += e.Bytes * uint64(hops)
+		if opts.TrackLinks {
+			buf, err = topo.Route(ns, nd, buf)
+			if err != nil {
+				iterErr = err
+				return
+			}
+			crossesGlobal := false
+			for _, li := range buf {
+				res.LinkBytes[li] += e.Bytes
+				if classes[li] == topology.ClassGlobal {
+					crossesGlobal = true
+				}
+			}
+			if crossesGlobal {
+				globalMsgs += e.Messages
+			}
+		}
+	})
+	if iterErr != nil {
+		return nil, iterErr
+	}
+
+	if res.Packets > 0 {
+		res.AvgHops = float64(res.PacketHops) / float64(res.Packets)
+	}
+	if opts.TrackLinks {
+		classBytes := map[topology.LinkClass]uint64{}
+		classUsed := map[topology.LinkClass]int{}
+		for li, b := range res.LinkBytes {
+			if b > 0 {
+				res.UsedLinks++
+				classBytes[classes[li]] += b
+				classUsed[classes[li]]++
+			}
+		}
+		if res.Messages > 0 {
+			res.GlobalMsgShare = float64(globalMsgs) / float64(res.Messages)
+		}
+		if res.UsedLinks > 0 && opts.WallTime > 0 {
+			res.UtilizationPct = 100 * float64(res.InterNodeBytes) /
+				(bw * opts.WallTime * float64(res.UsedLinks))
+			res.ClassUtilizationPct = make(map[topology.LinkClass]float64, len(classBytes))
+			for class, bytes := range classBytes {
+				// Per-class utilization is the mean busy share of that
+				// class's used links.
+				res.ClassUtilizationPct[class] = 100 * float64(bytes) /
+					(bw * opts.WallTime * float64(classUsed[class]))
+			}
+		}
+	}
+	return res, nil
+}
+
+// InterNodeBytes returns the traffic volume crossing node boundaries when
+// ranks are packed ranksPerNode to a node — the paper's multi-core study
+// (Figure 5). The node space is sized to fit; no topology is involved
+// because the metric is distance-independent.
+func InterNodeBytes(m *comm.Matrix, ranksPerNode int) (inter, intra uint64, err error) {
+	if ranksPerNode <= 0 {
+		return 0, 0, fmt.Errorf("netmodel: non-positive ranks-per-node %d", ranksPerNode)
+	}
+	m.Each(func(k comm.Key, e comm.Entry) {
+		if k.Src/ranksPerNode == k.Dst/ranksPerNode {
+			intra += e.Bytes
+		} else {
+			inter += e.Bytes
+		}
+	})
+	return inter, intra, nil
+}
+
+// MultiCoreSeries evaluates InterNodeBytes for each cores-per-node value
+// and returns the inter-node volume relative to the 1-rank-per-node
+// configuration (the series of Figure 5). The 1-per-node baseline equals
+// the total traffic, since distinct ranks always land on distinct nodes.
+func MultiCoreSeries(m *comm.Matrix, coresPerNode []int) ([]float64, error) {
+	total := m.TotalBytes()
+	out := make([]float64, len(coresPerNode))
+	for i, c := range coresPerNode {
+		inter, _, err := InterNodeBytes(m, c)
+		if err != nil {
+			return nil, err
+		}
+		if total == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = float64(inter) / float64(total)
+	}
+	return out, nil
+}
+
+// ConventionalLinkCount returns the paper's per-topology link-count
+// convention for the utilization denominator, scaled to the number of
+// nodes actually hosting ranks:
+//
+//	torus:     3 links per node (one per dimension)
+//	fat tree:  nodes · stages, with only half counted for the top stage
+//	dragonfly: nodes · (p + (a-1) + h) / p  (the 3.5–3.8 links/node ratio
+//	           quoted in the paper)
+//
+// This is exposed for comparison; Run's utilization uses the explicit
+// used-link count from the routed traffic, which the paper's fairness rule
+// ("only links that are actually transmitting data") describes.
+func ConventionalLinkCount(topo topology.Topology, usedNodes int) (float64, error) {
+	if usedNodes <= 0 || usedNodes > topo.Nodes() {
+		return 0, fmt.Errorf("netmodel: used nodes %d outside (0,%d]", usedNodes, topo.Nodes())
+	}
+	switch t := topo.(type) {
+	case *topology.Torus:
+		return 3 * float64(usedNodes), nil
+	case *topology.FatTree:
+		return float64(usedNodes) * (float64(t.Stages()) - 0.5), nil
+	case *topology.Dragonfly:
+		a, h, p := t.Params()
+		return float64(usedNodes) * float64(p+(a-1)+h) / float64(p), nil
+	default:
+		return 0, fmt.Errorf("netmodel: no link convention for %s", topo.Kind())
+	}
+}

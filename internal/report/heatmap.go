@@ -1,0 +1,106 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"netloc/internal/comm"
+)
+
+// Heatmap renders a communication matrix as the density plot the paper
+// contrasts its metrics against ("locality in MPI-based applications is
+// mostly characterized by communication patterns represented in heat maps
+// so far"). ASCII output downsamples the matrix to at most maxCells cells
+// per side and shades by log-scaled volume; PGM output writes one pixel
+// per rank pair for external viewers.
+
+// asciiShades orders shading characters from empty to most intense.
+var asciiShades = []byte(" .:-=+*#%@")
+
+// HeatmapASCII writes a downsampled text heat map of the matrix.
+func HeatmapASCII(w io.Writer, m *comm.Matrix, maxCells int) error {
+	if maxCells <= 0 {
+		maxCells = 64
+	}
+	n := m.Ranks()
+	cells := n
+	if cells > maxCells {
+		cells = maxCells
+	}
+	grid, maxVal := binMatrix(m, cells)
+	if maxVal == 0 {
+		_, err := fmt.Fprintln(w, "(no traffic)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "comm heatmap: %d ranks -> %dx%d cells, log-shaded, max cell %.3g bytes\n",
+		n, cells, cells, maxVal); err != nil {
+		return err
+	}
+	logMax := math.Log1p(maxVal)
+	line := make([]byte, cells)
+	for y := 0; y < cells; y++ {
+		for x := 0; x < cells; x++ {
+			v := grid[y*cells+x]
+			if v == 0 {
+				line[x] = asciiShades[0]
+				continue
+			}
+			idx := 1 + int(math.Log1p(v)/logMax*float64(len(asciiShades)-2)+0.5)
+			if idx >= len(asciiShades) {
+				idx = len(asciiShades) - 1
+			}
+			line[x] = asciiShades[idx]
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HeatmapPGM writes the full-resolution matrix as a binary PGM (P5) image,
+// one pixel per ordered rank pair, log-scaled to 8-bit grey (white =
+// heaviest traffic).
+func HeatmapPGM(w io.Writer, m *comm.Matrix) error {
+	n := m.Ranks()
+	grid, maxVal := binMatrix(m, n)
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", n, n); err != nil {
+		return err
+	}
+	pixels := make([]byte, n*n)
+	if maxVal > 0 {
+		logMax := math.Log1p(maxVal)
+		for i, v := range grid {
+			if v > 0 {
+				pixels[i] = byte(40 + math.Log1p(v)/logMax*215)
+			}
+		}
+	}
+	_, err := w.Write(pixels)
+	return err
+}
+
+// binMatrix aggregates the matrix onto a cells x cells grid (source rank
+// on the y axis, destination on x) and returns the grid with its maximum.
+func binMatrix(m *comm.Matrix, cells int) ([]float64, float64) {
+	n := m.Ranks()
+	grid := make([]float64, cells*cells)
+	scale := float64(cells) / float64(n)
+	var maxVal float64
+	m.Each(func(k comm.Key, e comm.Entry) {
+		y := int(float64(k.Src) * scale)
+		x := int(float64(k.Dst) * scale)
+		if y >= cells {
+			y = cells - 1
+		}
+		if x >= cells {
+			x = cells - 1
+		}
+		grid[y*cells+x] += float64(e.Bytes)
+		if grid[y*cells+x] > maxVal {
+			maxVal = grid[y*cells+x]
+		}
+	})
+	return grid, maxVal
+}

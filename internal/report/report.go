@@ -1,0 +1,334 @@
+// Package report renders the study's tables and figure series as aligned
+// text and CSV, matching the row/column layout of the paper so runs can be
+// compared against the published numbers side by side.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"netloc/internal/core"
+)
+
+// writeTable renders rows of cells with padded, right-aligned columns.
+func writeTable(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c) // left-align first column
+			} else {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			}
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	total := len(header) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCSV renders rows as comma-separated values with a header.
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	all := append([][]string{header}, rows...)
+	for _, row := range all {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f2(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// fu formats utilization percentages like the paper (fixed point for
+// ordinary values, scientific for the tiny ones).
+func fu(v float64) string {
+	if v != 0 && v < 0.0001 {
+		return strconv.FormatFloat(v, 'E', 1, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}
+
+// fg formats large counts in short scientific form like the paper's
+// packet-hop cells.
+func fg(v uint64) string {
+	return strconv.FormatFloat(float64(v), 'E', 1, 64)
+}
+
+func star(b bool) string {
+	if b {
+		return " (*)"
+	}
+	return ""
+}
+
+// Table1 renders the workload-overview table.
+func Table1(w io.Writer, rows []core.Table1Row, csv bool) error {
+	header := []string{"Application", "Ranks", "Time[s]", "Vol[MB]", "P2P[%]", "Coll[%]", "Vol/t[MB/s]"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App + star(r.Star),
+			strconv.Itoa(r.Ranks),
+			strconv.FormatFloat(r.TimeS, 'g', 4, 64),
+			f1(r.VolMB),
+			f2(r.P2PPct),
+			f2(r.CollPct),
+			f2(r.RateMBps),
+		}
+	}
+	if csv {
+		return writeCSV(w, header, out)
+	}
+	return writeTable(w, header, out)
+}
+
+// Table2 renders the topology-configuration table.
+func Table2(w io.Writer, rows []core.Table2Row, csv bool) error {
+	header := []string{"Size", "Torus", "T.Nodes", "FatTree", "F.Nodes", "Dragonfly", "D.Nodes"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			strconv.Itoa(r.Size),
+			r.Torus.String(), strconv.Itoa(r.Torus.Nodes),
+			r.FatTree.String(), strconv.Itoa(r.FatTree.Nodes),
+			r.Dragonfly.String(), strconv.Itoa(r.Dragonfly.Nodes),
+		}
+	}
+	if csv {
+		return writeCSV(w, header, out)
+	}
+	return writeTable(w, header, out)
+}
+
+// Table3 renders the main characterization table.
+func Table3(w io.Writer, rows []*core.Analysis, csv bool) error {
+	header := []string{
+		"Workload", "Ranks", "Peers", "RankDist(90%)", "Select(90%)",
+		"T.PktHops", "T.hops", "T.Util[%]",
+		"F.PktHops", "F.hops", "F.Util[%]",
+		"D.PktHops", "D.hops", "D.Util[%]",
+	}
+	out := make([][]string, 0, len(rows))
+	for _, a := range rows {
+		row := []string{a.App, strconv.Itoa(a.Ranks)}
+		if a.HasP2P {
+			row = append(row, strconv.Itoa(a.Peers), f1(a.RankDistance), f1(a.Selectivity))
+		} else {
+			row = append(row, "N/A", "N/A", "N/A")
+		}
+		for _, tr := range []*core.TopoResult{a.Torus, a.FatTree, a.Dragonfly} {
+			if tr == nil {
+				row = append(row, "-", "-", "-")
+				continue
+			}
+			row = append(row, fg(tr.PacketHops), f2(tr.AvgHops), fu(tr.UtilizationPct))
+		}
+		out = append(out, row)
+	}
+	if csv {
+		return writeCSV(w, header, out)
+	}
+	return writeTable(w, header, out)
+}
+
+// Table4 renders the dimensionality table.
+func Table4(w io.Writer, rows []core.Table4Row, csv bool) error {
+	header := []string{"Workload", "Ranks", "1D[%]", "2D[%]", "3D[%]", "Grid2D", "Grid3D"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App, strconv.Itoa(r.Ranks),
+			f1(r.Loc1D), f1(r.Loc2D), f1(r.Loc3D),
+			intsString(r.Grid2D), intsString(r.Grid3D),
+		}
+	}
+	if csv {
+		return writeCSV(w, header, out)
+	}
+	return writeTable(w, header, out)
+}
+
+func intsString(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Curve renders a figure series (x index from 1, share value per point).
+func Curve(w io.Writer, label string, shares []float64, csv bool) error {
+	header := []string{"partners", label}
+	out := make([][]string, len(shares))
+	for i, s := range shares {
+		out[i] = []string{strconv.Itoa(i + 1), strconv.FormatFloat(s, 'f', 4, 64)}
+	}
+	if csv {
+		return writeCSV(w, header, out)
+	}
+	return writeTable(w, header, out)
+}
+
+// Figure3 renders the selectivity-trend curves, one column per workload.
+func Figure3(w io.Writer, curves []core.Figure3Curve, csv bool) error {
+	maxLen := 0
+	header := []string{"partners"}
+	for _, c := range curves {
+		header = append(header, fmt.Sprintf("%s/%d", c.App, c.Ranks))
+		if len(c.Shares) > maxLen {
+			maxLen = len(c.Shares)
+		}
+	}
+	out := make([][]string, maxLen)
+	for i := 0; i < maxLen; i++ {
+		row := []string{strconv.Itoa(i + 1)}
+		for _, c := range curves {
+			if i < len(c.Shares) {
+				row = append(row, strconv.FormatFloat(c.Shares[i], 'f', 4, 64))
+			} else {
+				row = append(row, "1.0000")
+			}
+		}
+		out[i] = row
+	}
+	if csv {
+		return writeCSV(w, header, out)
+	}
+	return writeTable(w, header, out)
+}
+
+// Figure5 renders the multi-core traffic series, one row per workload.
+func Figure5(w io.Writer, series []core.Figure5Series, csv bool) error {
+	if len(series) == 0 {
+		_, err := fmt.Fprintln(w, "(no workloads)")
+		return err
+	}
+	header := []string{"Workload", "Ranks"}
+	for _, c := range series[0].Cores {
+		header = append(header, strconv.Itoa(c)+" c/n")
+	}
+	out := make([][]string, len(series))
+	for i, s := range series {
+		row := []string{s.App, strconv.Itoa(s.Ranks)}
+		for _, sh := range s.Shares {
+			row = append(row, strconv.FormatFloat(sh, 'f', 3, 64))
+		}
+		out[i] = row
+	}
+	if csv {
+		return writeCSV(w, header, out)
+	}
+	return writeTable(w, header, out)
+}
+
+// Claims renders the headline-findings summary.
+func Claims(w io.Writer, c core.Claims) error {
+	_, err := fmt.Fprintf(w, `Headline findings over %d configurations (%d with p2p traffic):
+  selectivity <= 10 partners:       %.1f%% of p2p configurations (paper: ~89%%)
+  utilization < 1%%:                 %.1f%% of (config, topology) cells (paper: ~93%%)
+  dragonfly global-link msg share:  %.1f%% average (paper: ~95%%)
+  torus lowest avg hops (<256):     %d of %d configurations
+  fat tree lowest avg hops (>=256): %d of %d configurations
+  max selectivity:                  %.1f (%s)
+`,
+		c.TotalConfigs, c.P2PConfigs,
+		c.SelectivityLE10Pct, c.UtilizationLT1Pct, c.DragonflyGlobalSharePct,
+		c.TorusWinsSmall, c.SmallConfigs, c.FatTreeWinsLarge, c.LargeConfigs,
+		c.MaxSelectivity, c.MaxSelectivityApp)
+	return err
+}
+
+// SimTable renders the dynamic-effects (simulation) table: per workload
+// and topology, the latency, queueing, and slackness statistics the
+// static model cannot produce.
+func SimTable(w io.Writer, rows []core.SimRow, csv bool) error {
+	header := []string{
+		"Workload", "Ranks", "Topology", "Msgs",
+		"MeanLat[us]", "Queue[us]", "Delayed[%]", "MeasUtil[%]", "MaxLink[%]", "SlackCover[%]",
+	}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{
+			r.App, strconv.Itoa(r.Ranks), r.Topology, strconv.Itoa(r.Messages),
+			f2(r.MeanLatency * 1e6),
+			f2(r.MeanQueueDelay * 1e6),
+			f1(100 * r.DelayedShare),
+			fu(r.MeasuredUtilizationPct),
+			fu(r.MaxLinkBusyPct),
+			f1(100 * r.SlackCoverShare),
+		}
+	}
+	if csv {
+		return writeCSV(w, header, out)
+	}
+	return writeTable(w, header, out)
+}
+
+// Scorecard renders the quantitative reproduction scorecard.
+func Scorecard(w io.Writer, rows []core.ScoreRow, csv bool) error {
+	header := []string{"Claim", "Paper", "Measured", "Dev[%]", "Verdict"}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		dev := "-"
+		if r.Paper != 0 {
+			dev = f1(100 * abs(r.Measured-r.Paper) / abs(r.Paper))
+		}
+		out[i] = []string{r.Claim, f2(r.Paper), f2(r.Measured), dev, r.Verdict}
+	}
+	if csv {
+		return writeCSV(w, header, out)
+	}
+	if err := writeTable(w, header, out); err != nil {
+		return err
+	}
+	match, close, diff := core.ScorecardSummary(rows)
+	_, err := fmt.Fprintf(w, "\n%d MATCH, %d CLOSE, %d DIFF of %d anchors\n",
+		match, close, diff, len(rows))
+	return err
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,228 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netloc/internal/core"
+	"netloc/internal/topology"
+)
+
+func TestTable1Rendering(t *testing.T) {
+	rows := []core.Table1Row{
+		{App: "AMG", Ranks: 8, TimeS: 0.026, VolMB: 3.0, P2PPct: 100, RateMBps: 116.3},
+		{App: "PARTISN", Star: true, Ranks: 168, TimeS: 2.1e6, VolMB: 42123, P2PPct: 99.96, CollPct: 0.04, RateMBps: 0.02},
+	}
+	var buf bytes.Buffer
+	if err := Table1(&buf, rows, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Application", "AMG", "PARTISN (*)", "42123.0", "99.96"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := Table1(&csv, rows, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "Application,Ranks,") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	tor, ft, df, err := topology.Configs(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []core.Table2Row{{Size: 64, Torus: tor, FatTree: ft, Dragonfly: df}}
+	var buf bytes.Buffer
+	if err := Table2(&buf, rows, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"(4,4,4)", "(48,2)", "(4,2,2)", "576", "72"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable3RenderingHandlesNA(t *testing.T) {
+	rows := []*core.Analysis{
+		{
+			App: "BigFFT", Ranks: 9, HasP2P: false,
+			Torus:     &core.TopoResult{PacketHops: 1000000, AvgHops: 1.56, UtilizationPct: 0.67},
+			FatTree:   &core.TopoResult{PacketHops: 1200000, AvgHops: 1.78, UtilizationPct: 3.07},
+			Dragonfly: &core.TopoResult{PacketHops: 2000000, AvgHops: 2.91, UtilizationPct: 1.29},
+		},
+		{App: "AMG", Ranks: 8, HasP2P: true, Peers: 7, RankDistance: 3.7, Selectivity: 2.8},
+	}
+	var buf bytes.Buffer
+	if err := Table3(&buf, rows, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "N/A") {
+		t.Error("missing N/A for BigFFT")
+	}
+	if !strings.Contains(out, "1.0E+06") {
+		t.Errorf("missing scientific packet hops:\n%s", out)
+	}
+	if !strings.Contains(out, "-") { // nil topology results render as dashes
+		t.Error("missing dashes for missing topologies")
+	}
+}
+
+func TestTable4Rendering(t *testing.T) {
+	rows := []core.Table4Row{
+		{App: "AMG", Ranks: 216, Loc1D: 3, Loc2D: 17, Loc3D: 100, Grid2D: []int{12, 18}, Grid3D: []int{6, 6, 6}},
+	}
+	var buf bytes.Buffer
+	if err := Table4(&buf, rows, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"100.0", "(6,6,6)", "(12,18)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCurveRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Curve(&buf, "LULESH r0", []float64{0.5, 0.9, 1.0}, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0.9000") || !strings.Contains(out, "LULESH r0") {
+		t.Errorf("bad curve output:\n%s", out)
+	}
+}
+
+func TestFigure3Rendering(t *testing.T) {
+	curves := []core.Figure3Curve{
+		{App: "A", Ranks: 8, Shares: []float64{0.8, 1.0}},
+		{App: "B", Ranks: 8, Shares: []float64{1.0}},
+	}
+	var buf bytes.Buffer
+	if err := Figure3(&buf, curves, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Shorter curves are padded with 1.0.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "1.0000") {
+		t.Errorf("padding missing: %q", lines[3])
+	}
+}
+
+func TestFigure5Rendering(t *testing.T) {
+	series := []core.Figure5Series{
+		{App: "LULESH", Ranks: 512, Cores: []int{1, 2}, Shares: []float64{1, 0.8}},
+	}
+	var buf bytes.Buffer
+	if err := Figure5(&buf, series, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.800") {
+		t.Errorf("bad figure5 output:\n%s", buf.String())
+	}
+	var empty bytes.Buffer
+	if err := Figure5(&empty, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no workloads") {
+		t.Error("empty series not handled")
+	}
+}
+
+func TestClaimsRendering(t *testing.T) {
+	var buf bytes.Buffer
+	err := Claims(&buf, core.Claims{
+		TotalConfigs: 38, P2PConfigs: 32, SelectivityLE10Pct: 81.3,
+		UtilizationLT1Pct: 92.1, DragonflyGlobalSharePct: 75.6,
+		TorusWinsSmall: 20, SmallConfigs: 20, FatTreeWinsLarge: 6, LargeConfigs: 18,
+		MaxSelectivity: 22.4, MaxSelectivityApp: "AMR_Miniapp (1728 ranks)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"81.3%", "92.1%", "AMR_Miniapp", "20 of 20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeCSV(&buf, []string{"a", "b"}, [][]string{{`has,comma`, `has"quote`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"has,comma"`) || !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("escaping wrong: %s", out)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if fu(0.00005) != "5.0E-05" {
+		t.Errorf("fu small = %s", fu(0.00005))
+	}
+	if fu(0.5) != "0.5000" {
+		t.Errorf("fu normal = %s", fu(0.5))
+	}
+	if fu(0) != "0.0000" {
+		t.Errorf("fu zero = %s", fu(0))
+	}
+	if fg(6000000) != "6.0E+06" {
+		t.Errorf("fg = %s", fg(6000000))
+	}
+	if star(true) != " (*)" || star(false) != "" {
+		t.Error("star wrong")
+	}
+}
+
+func TestSimTableRendering(t *testing.T) {
+	rows := []core.SimRow{
+		{App: "LULESH", Ranks: 64, Topology: "torus"},
+	}
+	rows[0].Messages = 100
+	rows[0].MeanLatency = 1.5e-6
+	rows[0].MeanQueueDelay = 0.5e-6
+	rows[0].DelayedShare = 0.25
+	rows[0].MeasuredUtilizationPct = 0.05
+	rows[0].MaxLinkBusyPct = 0.07
+	rows[0].SlackCoverShare = 0.99
+	var buf bytes.Buffer
+	if err := SimTable(&buf, rows, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LULESH", "torus", "1.50", "25.0", "99.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim table missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := SimTable(&csv, rows, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "Workload,Ranks,Topology,") {
+		t.Errorf("csv header: %q", csv.String())
+	}
+}

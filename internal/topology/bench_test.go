@@ -1,0 +1,114 @@
+package topology
+
+import "testing"
+
+func benchTopo(b *testing.B, build func() (Topology, error)) Topology {
+	b.Helper()
+	topo, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return topo
+}
+
+func BenchmarkTorusHopCount(b *testing.B) {
+	topo := benchTopo(b, func() (Topology, error) { return NewTorus(16, 8, 8) })
+	n := topo.Nodes()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += topo.HopCount(i%n, (i*7+3)%n)
+	}
+	_ = sink
+}
+
+func BenchmarkTorusRoute(b *testing.B) {
+	topo := benchTopo(b, func() (Topology, error) { return NewTorus(16, 8, 8) })
+	n := topo.Nodes()
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = topo.Route(i%n, (i*7+3)%n, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFatTreeRoute(b *testing.B) {
+	topo := benchTopo(b, func() (Topology, error) { return NewFatTree(48, 3) })
+	n := topo.Nodes()
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = topo.Route(i%n, (i*101+7)%n, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDragonflyRoute(b *testing.B) {
+	topo := benchTopo(b, func() (Topology, error) { return NewDragonfly(8, 4, 4) })
+	n := topo.Nodes()
+	var buf []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = topo.Route(i%n, (i*13+5)%n, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDragonflyHopCount(b *testing.B) {
+	topo := benchTopo(b, func() (Topology, error) { return NewDragonfly(10, 5, 5) })
+	n := topo.Nodes()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += topo.HopCount(i%n, (i*13+5)%n)
+	}
+	_ = sink
+}
+
+func BenchmarkTorusConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewTorus(12, 12, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFatTreeConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewFatTree(48, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDragonflyConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewDragonfly(10, 5, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBFSReference(b *testing.B) {
+	topo := benchTopo(b, func() (Topology, error) { return NewTorus(8, 8, 8) })
+	g, err := GraphOf(topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.BFSFrom(i % topo.NumVertices()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

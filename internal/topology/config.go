@@ -1,0 +1,199 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config describes one topology instance selected for a given rank count,
+// mirroring a row of the paper's Table 2.
+type Config struct {
+	Kind  string // "torus", "fattree", "dragonfly"
+	Size  int    // requested rank count
+	Nodes int    // nodes provided by the configuration
+
+	// Torus parameters.
+	X, Y, Z int
+	// Fat-tree parameters.
+	Radix, Stages int
+	// Dragonfly parameters.
+	A, H, P int
+}
+
+// Build instantiates the configured topology.
+func (c Config) Build() (Topology, error) {
+	switch c.Kind {
+	case "torus":
+		return NewTorus(c.X, c.Y, c.Z)
+	case "fattree":
+		return NewFatTree(c.Radix, c.Stages)
+	case "dragonfly":
+		return NewDragonfly(c.A, c.H, c.P)
+	default:
+		return nil, fmt.Errorf("topology: unknown kind %q", c.Kind)
+	}
+}
+
+// String renders the configuration like the paper's Table 2 cells.
+func (c Config) String() string {
+	switch c.Kind {
+	case "torus":
+		return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z)
+	case "fattree":
+		return fmt.Sprintf("(%d,%d)", c.Radix, c.Stages)
+	case "dragonfly":
+		return fmt.Sprintf("(%d,%d,%d)", c.A, c.H, c.P)
+	}
+	return "?"
+}
+
+// FatTreeRadix is the switch radix the study uses for all fat-tree
+// configurations ("the deliberately high switch radix of 48 allows to set
+// up large systems with only a few stages").
+const FatTreeRadix = 48
+
+// paperTorusDims reproduces the torus column of Table 2 exactly.
+var paperTorusDims = map[int][3]int{
+	8:    {2, 2, 2},
+	9:    {3, 2, 2},
+	10:   {3, 2, 2},
+	18:   {3, 3, 2},
+	27:   {3, 3, 3},
+	64:   {4, 4, 4},
+	100:  {5, 5, 4},
+	125:  {5, 5, 5},
+	144:  {6, 6, 4},
+	168:  {7, 6, 4},
+	216:  {6, 6, 6},
+	256:  {8, 8, 4},
+	512:  {8, 8, 8},
+	1000: {10, 10, 10},
+	1024: {16, 8, 8},
+	1152: {12, 12, 8},
+	1728: {12, 12, 12},
+}
+
+// TorusConfig returns the 3D-torus configuration for the given rank count:
+// the paper's Table 2 entry when the size appears there, otherwise the
+// smallest near-cubic grid covering the ranks (x ≥ y ≥ z, x·y·z ≥ ranks,
+// aspect ratio x ≤ 2z, minimal volume).
+func TorusConfig(ranks int) (Config, error) {
+	if ranks <= 0 {
+		return Config{}, fmt.Errorf("topology: non-positive rank count %d", ranks)
+	}
+	if dims, ok := paperTorusDims[ranks]; ok {
+		return Config{Kind: "torus", Size: ranks, Nodes: dims[0] * dims[1] * dims[2],
+			X: dims[0], Y: dims[1], Z: dims[2]}, nil
+	}
+	x, y, z, err := nearCubicDims(ranks)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{Kind: "torus", Size: ranks, Nodes: x * y * z, X: x, Y: y, Z: z}, nil
+}
+
+// nearCubicDims finds x ≥ y ≥ z ≥ 1 with x·y·z ≥ n, x ≤ 2z (when possible),
+// minimizing the volume and then the largest dimension.
+func nearCubicDims(n int) (x, y, z int, err error) {
+	if n == 1 {
+		return 1, 1, 1, nil
+	}
+	bestVol := -1
+	for zi := 1; zi*zi*zi <= n*2; zi++ {
+		for yi := zi; ; yi++ {
+			// Smallest x with x*yi*zi >= n.
+			xi := (n + yi*zi - 1) / (yi * zi)
+			if xi < yi {
+				xi = yi
+			}
+			if yi > 2*zi && xi > 2*zi {
+				break
+			}
+			if xi > 2*zi {
+				continue
+			}
+			vol := xi * yi * zi
+			if bestVol == -1 || vol < bestVol || (vol == bestVol && xi < x) {
+				bestVol, x, y, z = vol, xi, yi, zi
+			}
+			if yi*zi >= n { // larger yi only grows the volume
+				break
+			}
+		}
+	}
+	if bestVol == -1 {
+		return 0, 0, 0, fmt.Errorf("topology: no near-cubic dims for %d", n)
+	}
+	return x, y, z, nil
+}
+
+// FatTreeConfig returns the smallest radix-48 fat tree covering the ranks.
+func FatTreeConfig(ranks int) (Config, error) {
+	if ranks <= 0 {
+		return Config{}, fmt.Errorf("topology: non-positive rank count %d", ranks)
+	}
+	d := FatTreeRadix / 2
+	var stages, nodes int
+	switch {
+	case ranks <= FatTreeRadix:
+		stages, nodes = 1, FatTreeRadix
+	case ranks <= d*d:
+		stages, nodes = 2, d*d
+	case ranks <= d*d*d:
+		stages, nodes = 3, d*d*d
+	default:
+		return Config{}, fmt.Errorf("topology: %d ranks exceed the largest fat-tree configuration (%d)", ranks, d*d*d)
+	}
+	return Config{Kind: "fattree", Size: ranks, Nodes: nodes, Radix: FatTreeRadix, Stages: stages}, nil
+}
+
+// dragonflyLadder lists the balanced (a = 2h = 2p) configurations the study
+// uses, smallest first.
+var dragonflyLadder = [][3]int{
+	{4, 2, 2},  // 72 nodes
+	{6, 3, 3},  // 342 nodes
+	{8, 4, 4},  // 1056 nodes
+	{10, 5, 5}, // 2550 nodes
+	{12, 6, 6}, // 5256 nodes (beyond the paper's table; natural extension)
+	{14, 7, 7}, // 9702 nodes
+	{16, 8, 8}, // 16512 nodes
+}
+
+// DragonflyConfig returns the smallest balanced dragonfly covering the
+// ranks.
+func DragonflyConfig(ranks int) (Config, error) {
+	if ranks <= 0 {
+		return Config{}, fmt.Errorf("topology: non-positive rank count %d", ranks)
+	}
+	for _, c := range dragonflyLadder {
+		a, h, p := c[0], c[1], c[2]
+		nodes := a * p * (a*h + 1)
+		if nodes >= ranks {
+			return Config{Kind: "dragonfly", Size: ranks, Nodes: nodes, A: a, H: h, P: p}, nil
+		}
+	}
+	return Config{}, fmt.Errorf("topology: %d ranks exceed the largest dragonfly configuration", ranks)
+}
+
+// Configs returns the torus, fat-tree, and dragonfly configurations for a
+// rank count, i.e. one row of Table 2.
+func Configs(ranks int) (torus, fattree, dragonfly Config, err error) {
+	if torus, err = TorusConfig(ranks); err != nil {
+		return
+	}
+	if fattree, err = FatTreeConfig(ranks); err != nil {
+		return
+	}
+	dragonfly, err = DragonflyConfig(ranks)
+	return
+}
+
+// PaperSizes returns the rank counts of Table 2 in ascending order.
+func PaperSizes() []int {
+	sizes := make([]int, 0, len(paperTorusDims))
+	for s := range paperTorusDims {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	return sizes
+}

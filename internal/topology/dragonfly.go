@@ -1,0 +1,248 @@
+package topology
+
+import "fmt"
+
+// Dragonfly is the hierarchical low-diameter topology of Kim et al.,
+// parameterized by:
+//
+//	a — routers per group
+//	h — global links per router
+//	p — compute nodes per router
+//
+// yielding g = a*h+1 groups and a*p*(a*h+1) nodes. Routers within a group
+// form a complete graph (local links); every pair of groups is connected by
+// exactly one global link, arranged in the palm-tree pattern: global port k
+// of group g (owned by router k/h) connects to global port a*h-1-k of group
+// (g+k+1) mod G. The study uses the balanced configuration a = 2h = 2p.
+//
+// Minimal routing takes at most five hops: terminal, up to one local hop to
+// the source-side gateway router, one global hop, up to one local hop on
+// the destination side, and the destination terminal.
+type Dragonfly struct {
+	a, h, p int
+	groups  int
+
+	links   []Link
+	classes []LinkClass
+
+	termLink  []int   // node -> terminal link index
+	localLink [][]int // group -> flattened a×a router pair -> link index (upper triangle)
+	globalOf  []int   // group*a*h + k -> global link index
+}
+
+// NewDragonfly constructs a dragonfly. All parameters must be positive and
+// a*h must be at least 1 (at least two groups).
+func NewDragonfly(a, h, p int) (*Dragonfly, error) {
+	if a <= 0 || h <= 0 || p <= 0 {
+		return nil, fmt.Errorf("topology: invalid dragonfly parameters (a=%d,h=%d,p=%d)", a, h, p)
+	}
+	if a*h < 1 {
+		return nil, fmt.Errorf("topology: dragonfly needs at least one global port per group")
+	}
+	d := &Dragonfly{a: a, h: h, p: p, groups: a*h + 1}
+	d.build()
+	return d, nil
+}
+
+// Vertex layout: compute nodes first (0..Nodes()-1), then routers
+// (group-major, a per group).
+func (d *Dragonfly) build() {
+	n := d.Nodes()
+	g := d.groups
+	addLink := func(x, y int, class LinkClass) int {
+		d.links = append(d.links, Link{A: x, B: y})
+		d.classes = append(d.classes, class)
+		return len(d.links) - 1
+	}
+
+	// Terminal links.
+	d.termLink = make([]int, n)
+	for v := 0; v < n; v++ {
+		d.termLink[v] = addLink(v, d.routerVertex(d.groupOf(v), d.routerOf(v)), ClassTerminal)
+	}
+
+	// Local links: complete graph within each group.
+	d.localLink = make([][]int, g)
+	for gi := 0; gi < g; gi++ {
+		d.localLink[gi] = make([]int, d.a*d.a)
+		for r1 := 0; r1 < d.a; r1++ {
+			for r2 := r1 + 1; r2 < d.a; r2++ {
+				li := addLink(d.routerVertex(gi, r1), d.routerVertex(gi, r2), ClassLocal)
+				d.localLink[gi][r1*d.a+r2] = li
+				d.localLink[gi][r2*d.a+r1] = li
+			}
+		}
+	}
+
+	// Global links in the palm-tree pattern: port k of group gi connects
+	// to port a*h-1-k of group (gi+k+1) mod G. Each unordered group pair
+	// gets exactly one link; create it from the lower-k side only
+	// (k < a*h-1-k', i.e. create when this side's port index is smaller
+	// than the peer's port index would make duplicates — instead create
+	// each link once by letting the side with the smaller resulting
+	// tuple own it).
+	ah := d.a * d.h
+	d.globalOf = make([]int, g*ah)
+	for i := range d.globalOf {
+		d.globalOf[i] = -1
+	}
+	for gi := 0; gi < g; gi++ {
+		for k := 0; k < ah; k++ {
+			if d.globalOf[gi*ah+k] != -1 {
+				continue
+			}
+			peerGroup := (gi + k + 1) % g
+			peerPort := ah - 1 - k
+			r1 := d.routerVertex(gi, k/d.h)
+			r2 := d.routerVertex(peerGroup, peerPort/d.h)
+			li := addLink(r1, r2, ClassGlobal)
+			d.globalOf[gi*ah+k] = li
+			d.globalOf[peerGroup*ah+peerPort] = li
+		}
+	}
+}
+
+// Params returns (a, h, p).
+func (d *Dragonfly) Params() (a, h, p int) { return d.a, d.h, d.p }
+
+// Groups returns the number of groups.
+func (d *Dragonfly) Groups() int { return d.groups }
+
+// Name implements Topology.
+func (d *Dragonfly) Name() string { return fmt.Sprintf("dragonfly(%d,%d,%d)", d.a, d.h, d.p) }
+
+// Kind implements Topology.
+func (d *Dragonfly) Kind() string { return "dragonfly" }
+
+// Nodes implements Topology.
+func (d *Dragonfly) Nodes() int { return d.a * d.p * d.groups }
+
+// NumVertices implements Topology.
+func (d *Dragonfly) NumVertices() int { return d.Nodes() + d.a*d.groups }
+
+// Links implements Topology.
+func (d *Dragonfly) Links() []Link { return d.links }
+
+// LinkClasses implements Topology.
+func (d *Dragonfly) LinkClasses() []LinkClass { return d.classes }
+
+func (d *Dragonfly) groupOf(v int) int  { return v / (d.a * d.p) }
+func (d *Dragonfly) routerOf(v int) int { return (v % (d.a * d.p)) / d.p }
+
+func (d *Dragonfly) routerVertex(group, router int) int {
+	return d.Nodes() + group*d.a + router
+}
+
+// gatewayPort returns the global port index k of group src that reaches
+// group dst directly ((src+k+1) mod G == dst).
+func (d *Dragonfly) gatewayPort(src, dst int) int {
+	return (dst - src - 1 + d.groups) % d.groups
+}
+
+// directHops returns the length of the canonical local-global-local path
+// between nodes in different groups: 3 hops plus one local hop on each side
+// whose router is not the gateway.
+func (d *Dragonfly) directHops(rs, rd, gs, gd int) int {
+	k := d.gatewayPort(gs, gd)
+	srcGW := k / d.h
+	peerPort := d.a*d.h - 1 - k
+	dstGW := peerPort / d.h
+	hops := 3 // terminal + global + terminal
+	if rs != srcGW {
+		hops++
+	}
+	if rd != dstGW {
+		hops++
+	}
+	return hops
+}
+
+// twoGlobalShortcut looks for a 4-hop path using two global links through
+// an intermediate group: source router owns a global port landing on a
+// router that itself owns a global port landing exactly on the destination
+// router. Such aligned paths beat the canonical 5-hop local-global-local
+// route when both endpoints sit away from their gateways; genuine
+// shortest-path routing (which the study uses) must take them. Returns the
+// two global port identifiers (group*a*h + port) or ok=false.
+func (d *Dragonfly) twoGlobalShortcut(rs, rd, gs, gd int) (k1, k2 int, ok bool) {
+	ah := d.a * d.h
+	for p1 := rs * d.h; p1 < (rs+1)*d.h; p1++ {
+		gx := (gs + p1 + 1) % d.groups
+		if gx == gd {
+			continue // that is the direct link
+		}
+		rx := (ah - 1 - p1) / d.h // landing router in group gx
+		for p2 := rx * d.h; p2 < (rx+1)*d.h; p2++ {
+			if (gx+p2+1)%d.groups != gd {
+				continue
+			}
+			if (ah-1-p2)/d.h == rd {
+				return gs*ah + p1, gx*ah + p2, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// HopCount implements Topology.
+func (d *Dragonfly) HopCount(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	gs, gd := d.groupOf(src), d.groupOf(dst)
+	rs, rd := d.routerOf(src), d.routerOf(dst)
+	if gs == gd {
+		if rs == rd {
+			return 2 // node -> router -> node
+		}
+		return 3 // node -> router -> router -> node
+	}
+	hops := d.directHops(rs, rd, gs, gd)
+	if hops == 5 {
+		if _, _, ok := d.twoGlobalShortcut(rs, rd, gs, gd); ok {
+			return 4
+		}
+	}
+	return hops
+}
+
+// Route implements Topology.
+func (d *Dragonfly) Route(src, dst int, buf []int) ([]int, error) {
+	if err := checkEndpoints(d, src, dst); err != nil {
+		return nil, err
+	}
+	buf = buf[:0]
+	if src == dst {
+		return buf, nil
+	}
+	gs, gd := d.groupOf(src), d.groupOf(dst)
+	rs, rd := d.routerOf(src), d.routerOf(dst)
+	buf = append(buf, d.termLink[src])
+	if gs == gd {
+		if rs != rd {
+			buf = append(buf, d.localLink[gs][rs*d.a+rd])
+		}
+		return append(buf, d.termLink[dst]), nil
+	}
+	k := d.gatewayPort(gs, gd)
+	srcGW := k / d.h
+	peerPort := d.a*d.h - 1 - k
+	dstGW := peerPort / d.h
+	if rs != srcGW && rd != dstGW {
+		// The canonical route needs two local hops; prefer an aligned
+		// 4-hop double-global shortcut when one exists.
+		if k1, k2, ok := d.twoGlobalShortcut(rs, rd, gs, gd); ok {
+			return append(buf, d.globalOf[k1], d.globalOf[k2], d.termLink[dst]), nil
+		}
+	}
+	if rs != srcGW {
+		buf = append(buf, d.localLink[gs][rs*d.a+srcGW])
+	}
+	buf = append(buf, d.globalOf[gs*d.a*d.h+k])
+	if dstGW != rd {
+		buf = append(buf, d.localLink[gd][dstGW*d.a+rd])
+	}
+	return append(buf, d.termLink[dst]), nil
+}
+
+var _ Topology = (*Dragonfly)(nil)

@@ -1,0 +1,244 @@
+package topology
+
+import "testing"
+
+func TestNewDragonflyValidation(t *testing.T) {
+	for _, c := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-2, 2, 2}} {
+		if _, err := NewDragonfly(c[0], c[1], c[2]); err == nil {
+			t.Errorf("NewDragonfly%v should fail", c)
+		}
+	}
+}
+
+func TestDragonflyNodeCountsPerPaper(t *testing.T) {
+	// Table 2: (4,2,2)->72, (6,3,3)->342, (8,4,4)->1056, (10,5,5)->2550.
+	cases := []struct{ a, h, p, nodes int }{
+		{4, 2, 2, 72}, {6, 3, 3, 342}, {8, 4, 4, 1056}, {10, 5, 5, 2550},
+	}
+	for _, c := range cases {
+		d, err := NewDragonfly(c.a, c.h, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Nodes() != c.nodes {
+			t.Errorf("(%d,%d,%d): Nodes = %d, want %d", c.a, c.h, c.p, d.Nodes(), c.nodes)
+		}
+		if d.Groups() != c.a*c.h+1 {
+			t.Errorf("(%d,%d,%d): Groups = %d, want %d", c.a, c.h, c.p, d.Groups(), c.a*c.h+1)
+		}
+	}
+}
+
+func TestDragonflyAccessors(t *testing.T) {
+	d, _ := NewDragonfly(4, 2, 2)
+	a, h, p := d.Params()
+	if a != 4 || h != 2 || p != 2 {
+		t.Fatalf("Params = %d,%d,%d", a, h, p)
+	}
+	if d.Kind() != "dragonfly" || d.Name() != "dragonfly(4,2,2)" {
+		t.Fatalf("Kind=%q Name=%q", d.Kind(), d.Name())
+	}
+	if d.NumVertices() != 72+9*4 {
+		t.Fatalf("NumVertices = %d", d.NumVertices())
+	}
+}
+
+func TestDragonflyLinkInventory(t *testing.T) {
+	// (4,2,2): 9 groups. Terminal: 72. Local: 9 * C(4,2) = 54.
+	// Global: C(9,2) = 36 (one per group pair).
+	d, _ := NewDragonfly(4, 2, 2)
+	var term, local, global int
+	for _, c := range d.LinkClasses() {
+		switch c {
+		case ClassTerminal:
+			term++
+		case ClassLocal:
+			local++
+		case ClassGlobal:
+			global++
+		}
+	}
+	if term != 72 {
+		t.Errorf("terminal = %d, want 72", term)
+	}
+	if local != 54 {
+		t.Errorf("local = %d, want 54", local)
+	}
+	if global != 36 {
+		t.Errorf("global = %d, want 36", global)
+	}
+}
+
+func TestDragonflyPalmTreeOneGlobalLinkPerGroupPair(t *testing.T) {
+	for _, cfg := range [][3]int{{4, 2, 2}, {6, 3, 3}, {2, 1, 1}} {
+		d, err := NewDragonfly(cfg[0], cfg[1], cfg[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := cfg[0]
+		g := d.Groups()
+		groupOfRouter := func(v int) int { return (v - d.Nodes()) / a }
+		pairs := map[[2]int]int{}
+		for i, l := range d.Links() {
+			if d.LinkClasses()[i] != ClassGlobal {
+				continue
+			}
+			g1, g2 := groupOfRouter(l.A), groupOfRouter(l.B)
+			if g1 == g2 {
+				t.Fatalf("global link within group %d", g1)
+			}
+			pairs[pairKey(g1, g2)]++
+		}
+		want := g * (g - 1) / 2
+		if len(pairs) != want {
+			t.Fatalf("(%d,%d,%d): %d group pairs linked, want %d", cfg[0], cfg[1], cfg[2], len(pairs), want)
+		}
+		for pair, c := range pairs {
+			if c != 1 {
+				t.Fatalf("group pair %v has %d links, want 1", pair, c)
+			}
+		}
+	}
+}
+
+func TestDragonflyGlobalPortsPerRouter(t *testing.T) {
+	// Every router terminates exactly h global links.
+	d, _ := NewDragonfly(4, 2, 2)
+	count := map[int]int{}
+	for i, l := range d.Links() {
+		if d.LinkClasses()[i] != ClassGlobal {
+			continue
+		}
+		count[l.A]++
+		count[l.B]++
+	}
+	for v := d.Nodes(); v < d.NumVertices(); v++ {
+		if count[v] != 2 {
+			t.Fatalf("router %d has %d global links, want 2", v, count[v])
+		}
+	}
+}
+
+func TestDragonflyHopCountBounds(t *testing.T) {
+	d, _ := NewDragonfly(4, 2, 2)
+	for s := 0; s < d.Nodes(); s++ {
+		for dst := 0; dst < d.Nodes(); dst++ {
+			h := d.HopCount(s, dst)
+			if s == dst {
+				if h != 0 {
+					t.Fatalf("self hop = %d", h)
+				}
+				continue
+			}
+			if h < 2 || h > 5 {
+				t.Fatalf("HopCount(%d,%d) = %d outside [2,5]", s, dst, h)
+			}
+		}
+	}
+}
+
+func TestDragonflyHopCountKnownValues(t *testing.T) {
+	d, _ := NewDragonfly(4, 2, 2) // p=2: nodes 0,1 on router 0 of group 0
+	if got := d.HopCount(0, 1); got != 2 {
+		t.Fatalf("same router = %d, want 2", got)
+	}
+	if got := d.HopCount(0, 2); got != 3 { // router 1, same group
+		t.Fatalf("same group = %d, want 3", got)
+	}
+	// Cross-group is 3..5 depending on gateway positions.
+	if got := d.HopCount(0, 8); got < 3 || got > 5 {
+		t.Fatalf("cross group = %d", got)
+	}
+}
+
+func TestDragonflyConnected(t *testing.T) {
+	for _, cfg := range [][3]int{{2, 1, 1}, {4, 2, 2}, {6, 3, 3}} {
+		d, err := NewDragonfly(cfg[0], cfg[1], cfg[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := GraphOf(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := g.Connected()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("dragonfly%v not connected", cfg)
+		}
+	}
+}
+
+func TestDragonflyRoutingMatchesBFS(t *testing.T) {
+	for _, cfg := range [][3]int{{2, 1, 1}, {4, 2, 2}, {3, 2, 2}, {5, 2, 3}} {
+		d, err := NewDragonfly(cfg[0], cfg[1], cfg[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyRoutingAgainstBFS(t, d, 0)
+	}
+}
+
+func TestDragonflyRoutingMatchesBFSPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, cfg := range [][3]int{{6, 3, 3}, {8, 4, 4}} {
+		d, err := NewDragonfly(cfg[0], cfg[1], cfg[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyRoutingAgainstBFS(t, d, 8)
+	}
+}
+
+func TestDragonflyRouteErrors(t *testing.T) {
+	d, _ := NewDragonfly(4, 2, 2)
+	if _, err := d.Route(0, 72, nil); err == nil {
+		t.Fatal("out-of-range dst accepted")
+	}
+	if _, err := d.Route(-1, 3, nil); err == nil {
+		t.Fatal("negative src accepted")
+	}
+}
+
+func TestDragonflyCrossGroupUsesGlobalLink(t *testing.T) {
+	// Minimal routing between different groups crosses exactly one
+	// global link; intra-group routes cross none. This backs the paper's
+	// "95% of all messages use a global inter-group link" analysis.
+	d, _ := NewDragonfly(4, 2, 2)
+	classes := d.LinkClasses()
+	var buf []int
+	var err error
+	for src := 0; src < d.Nodes(); src += 5 {
+		for dst := 0; dst < d.Nodes(); dst += 3 {
+			if src == dst {
+				continue
+			}
+			buf, err = d.Route(src, dst, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			globals := 0
+			for _, li := range buf {
+				if classes[li] == ClassGlobal {
+					globals++
+				}
+			}
+			sameGroup := src/8 == dst/8
+			if sameGroup && globals != 0 {
+				t.Fatalf("intra-group route %d->%d uses %d global links", src, dst, globals)
+			}
+			// Cross-group routes cross one global link, or two when
+			// the aligned double-global shortcut is shorter.
+			if !sameGroup && (globals < 1 || globals > 2) {
+				t.Fatalf("cross-group route %d->%d uses %d global links, want 1..2", src, dst, globals)
+			}
+			if !sameGroup && globals == 2 && len(buf) != 4 {
+				t.Fatalf("double-global route %d->%d has %d hops, want 4", src, dst, len(buf))
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"netloc/internal/topology"
+)
+
+// A 4x4x4 torus wraps each dimension, so opposite corners are only three
+// hops apart; the same grid as a mesh needs nine.
+func ExampleNewTorus() {
+	torus, _ := topology.NewTorus(4, 4, 4)
+	mesh, _ := topology.NewMesh(4, 4, 4)
+	fmt.Printf("torus corner-to-corner: %d hops\n", torus.HopCount(0, 63))
+	fmt.Printf("mesh  corner-to-corner: %d hops\n", mesh.HopCount(0, 63))
+	// Output:
+	// torus corner-to-corner: 3 hops
+	// mesh  corner-to-corner: 9 hops
+}
+
+// The study's fat trees use radix-48 switches; two stages host 576 nodes
+// with at most four hops between any pair.
+func ExampleNewFatTree() {
+	ft, _ := topology.NewFatTree(48, 2)
+	fmt.Printf("%s: %d nodes, same leaf %d hops, cross leaf %d hops\n",
+		ft.Name(), ft.Nodes(), ft.HopCount(0, 1), ft.HopCount(0, 575))
+	// Output:
+	// fattree(48,2): 576 nodes, same leaf 2 hops, cross leaf 4 hops
+}
+
+// The balanced dragonfly (a=2h=2p) with a=4 has nine groups of eight
+// nodes; hop counts range from two (same router) to five.
+func ExampleNewDragonfly() {
+	df, _ := topology.NewDragonfly(4, 2, 2)
+	fmt.Printf("%s: %d nodes in %d groups, same router %d hops\n",
+		df.Name(), df.Nodes(), df.Groups(), df.HopCount(0, 1))
+	// Output:
+	// dragonfly(4,2,2): 72 nodes in 9 groups, same router 2 hops
+}
+
+// Configs reproduces one row of the paper's Table 2.
+func ExampleConfigs() {
+	torus, fattree, dragonfly, _ := topology.Configs(216)
+	fmt.Printf("torus %s, fat tree %s, dragonfly %s\n", torus, fattree, dragonfly)
+	// Output:
+	// torus (6,6,6), fat tree (48,2), dragonfly (6,3,3)
+}
+
+// Route returns the concrete link path; its length always equals HopCount.
+func ExampleTorus_Route() {
+	torus, _ := topology.NewTorus(4, 4, 4)
+	path, _ := torus.Route(0, 21, nil) // (0,0,0) -> (1,1,1)
+	fmt.Printf("%d links, hop count %d\n", len(path), torus.HopCount(0, 21))
+	// Output:
+	// 3 links, hop count 3
+}

@@ -1,0 +1,248 @@
+package topology
+
+import "testing"
+
+func TestNewFatTreeValidation(t *testing.T) {
+	cases := []struct{ radix, stages int }{
+		{3, 1}, {2, 1}, {47, 2}, {48, 0}, {48, 4}, {-4, 1},
+	}
+	for _, c := range cases {
+		if _, err := NewFatTree(c.radix, c.stages); err == nil {
+			t.Errorf("NewFatTree(%d,%d) should fail", c.radix, c.stages)
+		}
+	}
+}
+
+func TestFatTreeNodeCountsPerPaper(t *testing.T) {
+	// Table 2: (48,1) -> 48, (48,2) -> 576, (48,3) -> 13824.
+	cases := []struct{ stages, nodes int }{
+		{1, 48}, {2, 576}, {3, 13824},
+	}
+	for _, c := range cases {
+		f, err := NewFatTree(48, c.stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Nodes() != c.nodes {
+			t.Errorf("stages=%d: Nodes = %d, want %d", c.stages, f.Nodes(), c.nodes)
+		}
+	}
+}
+
+func TestFatTreeAccessors(t *testing.T) {
+	f, _ := NewFatTree(8, 2)
+	if f.Radix() != 8 || f.Stages() != 2 {
+		t.Fatalf("Radix=%d Stages=%d", f.Radix(), f.Stages())
+	}
+	if f.Kind() != "fattree" || f.Name() != "fattree(8,2)" {
+		t.Fatalf("Kind=%q Name=%q", f.Kind(), f.Name())
+	}
+}
+
+func TestFatTreeStage1Structure(t *testing.T) {
+	f, err := NewFatTree(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes() != 8 || f.NumVertices() != 9 {
+		t.Fatalf("Nodes=%d NumVertices=%d", f.Nodes(), f.NumVertices())
+	}
+	if len(f.Links()) != 8 {
+		t.Fatalf("links = %d, want 8", len(f.Links()))
+	}
+	for _, c := range f.LinkClasses() {
+		if c != ClassTerminal {
+			t.Fatal("stage-1 fat tree has only terminal links")
+		}
+	}
+	// Every distinct pair is exactly 2 hops.
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			want := 2
+			if s == d {
+				want = 0
+			}
+			if got := f.HopCount(s, d); got != want {
+				t.Fatalf("HopCount(%d,%d) = %d, want %d", s, d, got, want)
+			}
+		}
+	}
+}
+
+func TestFatTreeStage2Structure(t *testing.T) {
+	// radix 8 -> d=4: 16 nodes, 4 leaves, 2 tops.
+	f, err := NewFatTree(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes() != 16 {
+		t.Fatalf("Nodes = %d, want 16", f.Nodes())
+	}
+	if f.NumVertices() != 16+4+2 {
+		t.Fatalf("NumVertices = %d, want 22", f.NumVertices())
+	}
+	// Links: 16 terminal + 4 leaves * 2 tops * 2 parallel = 16.
+	if len(f.Links()) != 32 {
+		t.Fatalf("links = %d, want 32", len(f.Links()))
+	}
+	// Hop structure: same leaf 2, otherwise 4.
+	if got := f.HopCount(0, 3); got != 2 {
+		t.Fatalf("same-leaf hops = %d, want 2", got)
+	}
+	if got := f.HopCount(0, 4); got != 4 {
+		t.Fatalf("cross-leaf hops = %d, want 4", got)
+	}
+}
+
+func TestFatTreeStage3Structure(t *testing.T) {
+	// radix 4 -> d=2: 8 nodes, 4 leaves (2 pods), 4 mids, 2 tops.
+	f, err := NewFatTree(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Nodes() != 8 {
+		t.Fatalf("Nodes = %d, want 8", f.Nodes())
+	}
+	if f.NumVertices() != 8+4+4+2 {
+		t.Fatalf("NumVertices = %d, want 18", f.NumVertices())
+	}
+	if got := f.HopCount(0, 1); got != 2 { // same leaf
+		t.Fatalf("same-leaf = %d", got)
+	}
+	if got := f.HopCount(0, 2); got != 4 { // same pod
+		t.Fatalf("same-pod = %d", got)
+	}
+	if got := f.HopCount(0, 4); got != 6 { // cross pod
+		t.Fatalf("cross-pod = %d", got)
+	}
+}
+
+func TestFatTreeSwitchRadixRespected(t *testing.T) {
+	// No switch may have more links than its radix.
+	for _, cfg := range []struct{ radix, stages int }{{4, 1}, {4, 2}, {4, 3}, {8, 2}, {8, 3}} {
+		f, err := NewFatTree(cfg.radix, cfg.stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := GraphOf(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := f.Nodes(); v < f.NumVertices(); v++ {
+			deg, err := g.Degree(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if deg > cfg.radix {
+				t.Fatalf("fattree(%d,%d): switch %d degree %d exceeds radix", cfg.radix, cfg.stages, v, deg)
+			}
+		}
+	}
+}
+
+func TestFatTreeConnected(t *testing.T) {
+	for _, cfg := range []struct{ radix, stages int }{{4, 1}, {4, 2}, {4, 3}, {8, 2}, {8, 3}, {48, 1}} {
+		f, err := NewFatTree(cfg.radix, cfg.stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := GraphOf(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := g.Connected()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("fattree(%d,%d) not connected", cfg.radix, cfg.stages)
+		}
+	}
+}
+
+func TestFatTreeRoutingMatchesBFS(t *testing.T) {
+	for _, cfg := range []struct{ radix, stages int }{{4, 1}, {4, 2}, {4, 3}, {8, 2}, {8, 3}, {12, 2}} {
+		f, err := NewFatTree(cfg.radix, cfg.stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyRoutingAgainstBFS(t, f, 0)
+	}
+}
+
+func TestFatTreeRoutingMatchesBFSPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, stages := range []int{1, 2} {
+		f, err := NewFatTree(48, stages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyRoutingAgainstBFS(t, f, 10)
+	}
+	f, err := NewFatTree(48, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyRoutingAgainstBFS(t, f, 2)
+}
+
+func TestFatTreeRouteErrors(t *testing.T) {
+	f, _ := NewFatTree(4, 2)
+	if _, err := f.Route(0, 99, nil); err == nil {
+		t.Fatal("out-of-range dst accepted")
+	}
+	if _, err := f.Route(-1, 0, nil); err == nil {
+		t.Fatal("negative src accepted")
+	}
+}
+
+func TestFatTreeRouteSpreadsParallelLinks(t *testing.T) {
+	// With d-mod routing, different destination/source pairs should use
+	// more than one distinct upward link between the same leaf pair.
+	f, _ := NewFatTree(8, 2)
+	used := map[int]bool{}
+	var buf []int
+	var err error
+	for src := 0; src < 4; src++ { // leaf 0
+		for dst := 4; dst < 8; dst++ { // leaf 1
+			buf, err = f.Route(src, dst, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, li := range buf[1 : len(buf)-1] { // exclude terminals
+				used[li] = true
+			}
+		}
+	}
+	if len(used) < 4 {
+		t.Fatalf("upward link diversity = %d, want >= 4", len(used))
+	}
+}
+
+func TestFatTreeLinkClassCounts(t *testing.T) {
+	f, _ := NewFatTree(4, 3) // 8 nodes, d=2
+	var term, local, global int
+	for _, c := range f.LinkClasses() {
+		switch c {
+		case ClassTerminal:
+			term++
+		case ClassLocal:
+			local++
+		case ClassGlobal:
+			global++
+		}
+	}
+	if term != 8 {
+		t.Fatalf("terminal = %d, want 8", term)
+	}
+	// leaf-mid: 4 leaves x 2 mids per pod = 8 links.
+	if local != 8 {
+		t.Fatalf("local = %d, want 8", local)
+	}
+	// mid-top: 4 mids x 1 top x 2 parallel = 8 links.
+	if global != 8 {
+		t.Fatalf("global = %d, want 8", global)
+	}
+}

@@ -1,0 +1,111 @@
+package topology
+
+import "testing"
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(2, []Link{{A: 0, B: 2}}); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if _, err := NewGraph(2, []Link{{A: -1, B: 0}}); err == nil {
+		t.Fatal("negative vertex accepted")
+	}
+	if _, err := NewGraph(2, []Link{{A: 1, B: 1}}); err == nil {
+		t.Fatal("self loop accepted")
+	}
+}
+
+func TestBFSPathDistances(t *testing.T) {
+	// 0-1-2-3 chain plus 0-3 shortcut.
+	g, err := NewGraph(4, []Link{{0, 1}, {1, 2}, {2, 3}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := g.BFSFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 1}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g, err := NewGraph(3, []Link{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := g.BFSFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[2] != -1 {
+		t.Fatalf("dist[2] = %d, want -1", dist[2])
+	}
+	ok, err := g.Connected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestBFSSourceValidation(t *testing.T) {
+	g, _ := NewGraph(2, nil)
+	if _, err := g.BFSFrom(5); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := g.BFSFrom(-1); err == nil {
+		t.Fatal("negative source accepted")
+	}
+}
+
+func TestGraphDegree(t *testing.T) {
+	g, _ := NewGraph(3, []Link{{0, 1}, {0, 2}})
+	if d, _ := g.Degree(0); d != 2 {
+		t.Fatalf("degree(0) = %d", d)
+	}
+	if d, _ := g.Degree(1); d != 1 {
+		t.Fatalf("degree(1) = %d", d)
+	}
+	if _, err := g.Degree(9); err == nil {
+		t.Fatal("bad vertex accepted")
+	}
+}
+
+func TestEmptyGraphConnected(t *testing.T) {
+	g, err := NewGraph(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.Connected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestParallelLinksAllowed(t *testing.T) {
+	// Fat trees use parallel links; the graph must accept them.
+	g, err := NewGraph(2, []Link{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := g.Degree(0); d != 2 {
+		t.Fatalf("degree with parallel links = %d, want 2", d)
+	}
+}
+
+func TestLinkClassString(t *testing.T) {
+	if ClassTerminal.String() != "terminal" || ClassLocal.String() != "local" || ClassGlobal.String() != "global" {
+		t.Fatal("class names wrong")
+	}
+	if LinkClass(9).String() != "class(9)" {
+		t.Fatal("unknown class string")
+	}
+}

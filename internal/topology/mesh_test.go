@@ -1,0 +1,96 @@
+package topology
+
+import "testing"
+
+func TestMeshBasicProperties(t *testing.T) {
+	m, err := NewMesh(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind() != "mesh" || m.Name() != "mesh(4,3,2)" {
+		t.Fatalf("Kind=%q Name=%q", m.Kind(), m.Name())
+	}
+	if m.Nodes() != 24 {
+		t.Fatalf("Nodes = %d", m.Nodes())
+	}
+	// Mesh links: x: 3*3*2=18, y: 4*2*2=16, z: 4*3*1=12 -> 46.
+	if got := len(m.Links()); got != 46 {
+		t.Fatalf("links = %d, want 46", got)
+	}
+}
+
+func TestMeshValidation(t *testing.T) {
+	if _, err := NewMesh(0, 1, 1); err == nil {
+		t.Fatal("invalid dims accepted")
+	}
+}
+
+func TestMeshNoWrapDistances(t *testing.T) {
+	m, err := NewMesh(5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 5-node chain: end-to-end is 4 hops (the torus wrap would make
+	// it 1) and there are only 4 links (torus: 5).
+	if got := m.HopCount(0, 4); got != 4 {
+		t.Fatalf("HopCount(0,4) = %d, want 4", got)
+	}
+	if got := len(m.Links()); got != 4 {
+		t.Fatalf("links = %d, want 4", got)
+	}
+}
+
+func TestMeshRoutingMatchesBFS(t *testing.T) {
+	for _, dims := range [][3]int{{2, 2, 2}, {3, 2, 2}, {3, 3, 3}, {4, 4, 4}, {5, 4, 3}, {6, 1, 2}} {
+		m, err := NewMesh(dims[0], dims[1], dims[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyRoutingAgainstBFS(t, m, 0)
+	}
+}
+
+func TestMeshDiameterExceedsTorus(t *testing.T) {
+	mesh, err := NewMesh(6, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := NewTorus(6, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corner to corner: mesh 15 hops; the torus wraps each dimension in
+	// a single hop (3 total).
+	if got := mesh.HopCount(0, mesh.Nodes()-1); got != 15 {
+		t.Fatalf("mesh diameter path = %d, want 15", got)
+	}
+	if got := torus.HopCount(0, torus.Nodes()-1); got != 3 {
+		t.Fatalf("torus wrap path = %d, want 3", got)
+	}
+	// Mesh hop counts dominate torus hop counts pairwise.
+	for s := 0; s < mesh.Nodes(); s += 7 {
+		for d := 0; d < mesh.Nodes(); d += 5 {
+			if mesh.HopCount(s, d) < torus.HopCount(s, d) {
+				t.Fatalf("mesh shorter than torus for (%d,%d)", s, d)
+			}
+		}
+	}
+}
+
+func TestMeshConnected(t *testing.T) {
+	m, err := NewMesh(3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GraphOf(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.Connected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("mesh not connected")
+	}
+}

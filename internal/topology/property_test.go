@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for random torus dimensions and random node pairs, the route
+// length always equals the analytic hop count, the hop count is symmetric,
+// and the triangle inequality holds.
+func TestTorusRouteHopConsistencyProperty(t *testing.T) {
+	f := func(xr, yr, zr, ar, br, cr uint8) bool {
+		x := 1 + int(xr)%6
+		y := 1 + int(yr)%6
+		z := 1 + int(zr)%6
+		tor, err := NewTorus(x, y, z)
+		if err != nil {
+			return false
+		}
+		n := tor.Nodes()
+		a := int(ar) % n
+		b := int(br) % n
+		c := int(cr) % n
+		path, err := tor.Route(a, b, nil)
+		if err != nil {
+			return false
+		}
+		if len(path) != tor.HopCount(a, b) {
+			return false
+		}
+		if tor.HopCount(a, b) != tor.HopCount(b, a) {
+			return false
+		}
+		// Triangle inequality.
+		return tor.HopCount(a, b) <= tor.HopCount(a, c)+tor.HopCount(c, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random mesh dimensions, mesh hop counts dominate the
+// torus's for the same pair (removing wrap links can only lengthen paths).
+func TestMeshDominatesTorusProperty(t *testing.T) {
+	f := func(xr, yr, zr, ar, br uint8) bool {
+		x := 1 + int(xr)%5
+		y := 1 + int(yr)%5
+		z := 1 + int(zr)%5
+		mesh, err := NewMesh(x, y, z)
+		if err != nil {
+			return false
+		}
+		tor, err := NewTorus(x, y, z)
+		if err != nil {
+			return false
+		}
+		n := mesh.Nodes()
+		a := int(ar) % n
+		b := int(br) % n
+		return mesh.HopCount(a, b) >= tor.HopCount(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random balanced dragonflies have exactly one global link per
+// group pair and all hop counts within [2,5] (0 for self).
+func TestDragonflyStructureProperty(t *testing.T) {
+	f := func(hr, ar, br uint8) bool {
+		h := 1 + int(hr)%4
+		a := 2 * h
+		p := h
+		d, err := NewDragonfly(a, h, p)
+		if err != nil {
+			return false
+		}
+		// Group-pair coverage.
+		g := d.Groups()
+		pairs := map[[2]int]int{}
+		classes := d.LinkClasses()
+		for i, l := range d.Links() {
+			if classes[i] != ClassGlobal {
+				continue
+			}
+			g1 := (l.A - d.Nodes()) / a
+			g2 := (l.B - d.Nodes()) / a
+			pairs[pairKey(g1, g2)]++
+		}
+		if len(pairs) != g*(g-1)/2 {
+			return false
+		}
+		for _, c := range pairs {
+			if c != 1 {
+				return false
+			}
+		}
+		n := d.Nodes()
+		s := int(ar) % n
+		e := int(br) % n
+		hc := d.HopCount(s, e)
+		if s == e {
+			return hc == 0
+		}
+		return hc >= 2 && hc <= 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fat-tree hop counts are always even (up-down routing) and
+// bounded by twice the stage count.
+func TestFatTreeHopParityProperty(t *testing.T) {
+	f := func(radixRaw, stagesRaw, ar, br uint8) bool {
+		radix := 4 + 2*(int(radixRaw)%6) // 4..14 even
+		stages := 1 + int(stagesRaw)%3
+		ft, err := NewFatTree(radix, stages)
+		if err != nil {
+			return false
+		}
+		n := ft.Nodes()
+		a := int(ar) % n
+		b := int(br) % n
+		hc := ft.HopCount(a, b)
+		if a == b {
+			return hc == 0
+		}
+		return hc%2 == 0 && hc >= 2 && hc <= 2*stages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every topology's Diameter bounds all pairwise hop counts and
+// is attained by some pair.
+func TestDiameterProperty(t *testing.T) {
+	builds := []func() (Topology, error){
+		func() (Topology, error) { return NewTorus(4, 3, 2) },
+		func() (Topology, error) { return NewMesh(3, 3, 2) },
+		func() (Topology, error) { return NewFatTree(8, 2) },
+		func() (Topology, error) { return NewDragonfly(4, 2, 2) },
+	}
+	for _, build := range builds {
+		topo, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diam := Diameter(topo)
+		attained := false
+		for s := 0; s < topo.Nodes(); s++ {
+			for d := 0; d < topo.Nodes(); d++ {
+				h := topo.HopCount(s, d)
+				if h > diam {
+					t.Fatalf("%s: hop count %d exceeds diameter %d", topo.Name(), h, diam)
+				}
+				if h == diam {
+					attained = true
+				}
+			}
+		}
+		if !attained {
+			t.Fatalf("%s: diameter %d never attained", topo.Name(), diam)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package topology models the three interconnection topologies of the
+// study — 3D torus, fat tree, and dragonfly — as explicit switch/link
+// graphs with deterministic minimal (shortest-path) routing.
+//
+// Each Topology exposes compute nodes 0..Nodes()-1 (the entities ranks are
+// mapped onto), an undirected link list over an internal vertex space
+// (compute nodes plus switches), an analytic HopCount for fast aggregate
+// metrics, and a Route that returns the concrete link path used for
+// link-level traffic accounting. Analytic hop counts are validated against
+// breadth-first search over the explicit graph in the package tests.
+//
+// Following the paper, routing is shortest-path for all topologies: the
+// model is non-temporal, so no load balancing or adaptivity is needed, and
+// shortest paths emphasize the impact of the topology itself.
+package topology
+
+import "fmt"
+
+// Link is an undirected connection between two vertices of the topology
+// graph. A vertex is either a compute node (IDs 0..Nodes()-1) or a switch
+// (IDs Nodes()..NumVertices()-1). For the torus, switches are integrated
+// into the nodes, so the vertex space equals the node space.
+type Link struct {
+	A, B int
+}
+
+// LinkClass categorizes links for per-class analyses (e.g. the share of
+// dragonfly traffic crossing global links).
+type LinkClass uint8
+
+const (
+	// ClassTerminal connects a compute node to its switch.
+	ClassTerminal LinkClass = iota
+	// ClassLocal connects switches within the same group/stage domain
+	// (torus neighbor links, fat-tree links below the top stage,
+	// dragonfly intra-group links).
+	ClassLocal
+	// ClassGlobal connects distant domains (dragonfly inter-group links,
+	// fat-tree top-stage links).
+	ClassGlobal
+)
+
+// String returns the class name.
+func (c LinkClass) String() string {
+	switch c {
+	case ClassTerminal:
+		return "terminal"
+	case ClassLocal:
+		return "local"
+	case ClassGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Topology is an interconnection network with deterministic minimal routing.
+type Topology interface {
+	// Name identifies the topology instance, e.g. "torus(4,4,4)".
+	Name() string
+	// Kind is the topology family: "torus", "fattree", or "dragonfly".
+	Kind() string
+	// Nodes returns the number of compute nodes (rank mapping targets).
+	Nodes() int
+	// NumVertices returns the total vertex count (nodes + switches).
+	NumVertices() int
+	// Links returns the undirected link list. The slice is shared; do
+	// not modify.
+	Links() []Link
+	// LinkClasses returns the class of each link, parallel to Links().
+	LinkClasses() []LinkClass
+	// HopCount returns the number of links a packet traverses from
+	// compute node src to compute node dst under minimal routing.
+	// HopCount(x, x) is 0.
+	HopCount(src, dst int) int
+	// Route returns the minimal path from src to dst as link indices
+	// into Links(). The path length always equals HopCount(src, dst).
+	// The returned slice is owned by the caller; buf may be passed to
+	// avoid allocation (Route appends to buf[:0]).
+	Route(src, dst int, buf []int) ([]int, error)
+}
+
+// checkEndpoints validates a node pair against the topology size.
+func checkEndpoints(t Topology, src, dst int) error {
+	if src < 0 || src >= t.Nodes() {
+		return fmt.Errorf("topology: src %d out of range [0,%d)", src, t.Nodes())
+	}
+	if dst < 0 || dst >= t.Nodes() {
+		return fmt.Errorf("topology: dst %d out of range [0,%d)", dst, t.Nodes())
+	}
+	return nil
+}
+
+// pairKey canonicalizes an unordered vertex pair (used by tests and the
+// dragonfly palm-tree checks).
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// Diameter returns the largest hop count between any pair of compute
+// nodes under the topology's routing (for minimal routing this is the
+// network diameter over endpoints). O(Nodes²) — intended for analysis and
+// tests, not hot paths.
+func Diameter(t Topology) int {
+	max := 0
+	// Ordered pairs: non-minimal schemes (e.g. Valiant) need not be
+	// symmetric in src and dst.
+	for s := 0; s < t.Nodes(); s++ {
+		for d := 0; d < t.Nodes(); d++ {
+			if s == d {
+				continue
+			}
+			if h := t.HopCount(s, d); h > max {
+				max = h
+			}
+		}
+	}
+	return max
+}

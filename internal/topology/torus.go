@@ -1,0 +1,220 @@
+package topology
+
+import "fmt"
+
+// Torus is a 3D torus: nodes arranged on an X×Y×Z grid with wrap-around
+// links in every dimension. Switches are integrated into the nodes (direct
+// topology), so no terminal hop is needed: the hop count between two nodes
+// is the sum of the per-dimension ring distances. Routing is
+// dimension-ordered (X, then Y, then Z), taking the shorter ring direction
+// in each dimension; this is shortest-path.
+//
+// With wrap disabled (NewMesh) the same structure models a 3D mesh, the
+// ablation case for how much of the torus results the wrap-around links
+// are responsible for.
+type Torus struct {
+	x, y, z int
+	wrap    bool
+	links   []Link
+	classes []LinkClass
+	// dirLink[node*6+d] is the link index leaving node in direction d
+	// (0 +x, 1 -x, 2 +y, 3 -y, 4 +z, 5 -z); -1 where the dimension has
+	// size one. Precomputed so routing needs no map lookups.
+	dirLink []int
+}
+
+// NewTorus constructs an X×Y×Z torus. All dimensions must be positive.
+func NewTorus(x, y, z int) (*Torus, error) {
+	return newGrid(x, y, z, true)
+}
+
+// NewMesh constructs an X×Y×Z mesh: the torus structure without the
+// wrap-around links.
+func NewMesh(x, y, z int) (*Torus, error) {
+	return newGrid(x, y, z, false)
+}
+
+func newGrid(x, y, z int, wrap bool) (*Torus, error) {
+	if x <= 0 || y <= 0 || z <= 0 {
+		return nil, fmt.Errorf("topology: invalid torus dimensions (%d,%d,%d)", x, y, z)
+	}
+	t := &Torus{x: x, y: y, z: z, wrap: wrap}
+	n := x * y * z
+	t.dirLink = make([]int, n*6)
+	for i := range t.dirLink {
+		t.dirLink[i] = -1
+	}
+	// One +direction link per node per dimension. A dimension of size 2
+	// has a single link per node pair (the "wrap" coincides with the
+	// direct link); size 1 has none.
+	for v := 0; v < n; v++ {
+		cx, cy, cz := t.coords(v)
+		if x > 1 && (cx+1 < x || (wrap && x > 2)) {
+			t.addLink(v, t.id((cx+1)%x, cy, cz), 0, t.wrapSize(x))
+		}
+		if y > 1 && (cy+1 < y || (wrap && y > 2)) {
+			t.addLink(v, t.id(cx, (cy+1)%y, cz), 2, t.wrapSize(y))
+		}
+		if z > 1 && (cz+1 < z || (wrap && z > 2)) {
+			t.addLink(v, t.id(cx, cy, (cz+1)%z), 4, t.wrapSize(z))
+		}
+	}
+	return t, nil
+}
+
+// wrapSize returns the ring size addLink should treat a dimension as: in
+// mesh mode wrap semantics never apply, so any value above 2 suffices.
+func (t *Torus) wrapSize(size int) int {
+	if !t.wrap && size == 2 {
+		// A 2-node mesh dimension still has one link serving both
+		// directions of both nodes.
+		return 2
+	}
+	if !t.wrap {
+		return size + 1 // suppress the size==2 double-direction rule
+	}
+	return size
+}
+
+// addLink records the link a→b in the positive direction of the dimension
+// whose positive direction index is dirPlus, and fills the direction
+// tables for both endpoints (in a size-2 dimension the single link serves
+// both directions of both nodes).
+func (t *Torus) addLink(a, b, dirPlus, size int) {
+	li := len(t.links)
+	t.links = append(t.links, Link{A: a, B: b})
+	t.classes = append(t.classes, ClassLocal)
+	t.dirLink[a*6+dirPlus] = li
+	t.dirLink[b*6+dirPlus+1] = li
+	if size == 2 {
+		t.dirLink[a*6+dirPlus+1] = li
+		t.dirLink[b*6+dirPlus] = li
+	}
+}
+
+// Dims returns the torus dimensions.
+func (t *Torus) Dims() (x, y, z int) { return t.x, t.y, t.z }
+
+// Name implements Topology.
+func (t *Torus) Name() string { return fmt.Sprintf("%s(%d,%d,%d)", t.Kind(), t.x, t.y, t.z) }
+
+// Kind implements Topology.
+func (t *Torus) Kind() string {
+	if !t.wrap {
+		return "mesh"
+	}
+	return "torus"
+}
+
+// Nodes implements Topology.
+func (t *Torus) Nodes() int { return t.x * t.y * t.z }
+
+// NumVertices implements Topology. Switches are integrated, so the vertex
+// space equals the node space.
+func (t *Torus) NumVertices() int { return t.Nodes() }
+
+// Links implements Topology.
+func (t *Torus) Links() []Link { return t.links }
+
+// LinkClasses implements Topology.
+func (t *Torus) LinkClasses() []LinkClass { return t.classes }
+
+func (t *Torus) id(cx, cy, cz int) int { return (cz*t.y+cy)*t.x + cx }
+
+func (t *Torus) coords(n int) (cx, cy, cz int) {
+	cx = n % t.x
+	cy = (n / t.x) % t.y
+	cz = n / (t.x * t.y)
+	return
+}
+
+// ringDist returns the shortest ring distance between coordinates a and b
+// in a dimension of the given size.
+func ringDist(a, b, size int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap := size - d; wrap < d {
+		return wrap
+	}
+	return d
+}
+
+// HopCount implements Topology.
+func (t *Torus) HopCount(src, dst int) int {
+	sx, sy, sz := t.coords(src)
+	dx, dy, dz := t.coords(dst)
+	if !t.wrap {
+		return absDiff(sx, dx) + absDiff(sy, dy) + absDiff(sz, dz)
+	}
+	return ringDist(sx, dx, t.x) + ringDist(sy, dy, t.y) + ringDist(sz, dz, t.z)
+}
+
+func absDiff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// ringStep returns the next coordinate moving from a toward b along the
+// shorter ring direction (positive direction on ties).
+func ringStep(a, b, size int) int {
+	if a == b {
+		return a
+	}
+	fwd := (b - a + size) % size // steps in +direction
+	if fwd <= size-fwd {
+		return (a + 1) % size
+	}
+	return (a - 1 + size) % size
+}
+
+// Route implements Topology.
+func (t *Torus) Route(src, dst int, buf []int) ([]int, error) {
+	if err := checkEndpoints(t, src, dst); err != nil {
+		return nil, err
+	}
+	buf = buf[:0]
+	cx, cy, cz := t.coords(src)
+	dx, dy, dz := t.coords(dst)
+	cur := src
+	walk := func(from, to, size, dirPlus int, advance func(int)) error {
+		for from != to {
+			var next int
+			if t.wrap {
+				next = ringStep(from, to, size)
+			} else if to > from {
+				next = from + 1
+			} else {
+				next = from - 1
+			}
+			dir := dirPlus
+			if next != (from+1)%size {
+				dir = dirPlus + 1
+			}
+			li := t.dirLink[cur*6+dir]
+			if li < 0 {
+				return fmt.Errorf("topology: torus missing link at node %d dir %d", cur, dir)
+			}
+			buf = append(buf, li)
+			from = next
+			advance(next)
+			cur = t.id(cx, cy, cz)
+		}
+		return nil
+	}
+	if err := walk(cx, dx, t.x, 0, func(v int) { cx = v }); err != nil {
+		return nil, err
+	}
+	if err := walk(cy, dy, t.y, 2, func(v int) { cy = v }); err != nil {
+		return nil, err
+	}
+	if err := walk(cz, dz, t.z, 4, func(v int) { cz = v }); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+var _ Topology = (*Torus)(nil)

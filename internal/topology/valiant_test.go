@@ -1,0 +1,151 @@
+package topology
+
+import "testing"
+
+func newValiant(t *testing.T, a, h, p int) *Valiant {
+	t.Helper()
+	d, err := NewDragonfly(a, h, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewValiant(d, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewValiantValidation(t *testing.T) {
+	if _, err := NewValiant(nil, 1); err == nil {
+		t.Fatal("nil dragonfly accepted")
+	}
+}
+
+func TestValiantNaming(t *testing.T) {
+	v := newValiant(t, 4, 2, 2)
+	if v.Kind() != "valiant-dragonfly" || v.Name() != "valiant-dragonfly(4,2,2)" {
+		t.Fatalf("Kind=%q Name=%q", v.Kind(), v.Name())
+	}
+}
+
+func TestValiantPathsValidAndConsistent(t *testing.T) {
+	v := newValiant(t, 4, 2, 2)
+	var buf []int
+	var err error
+	for src := 0; src < v.Nodes(); src++ {
+		for dst := 0; dst < v.Nodes(); dst++ {
+			buf, err = v.Route(src, dst, buf)
+			if err != nil {
+				t.Fatalf("Route(%d,%d): %v", src, dst, err)
+			}
+			validatePath(t, v, src, dst, buf)
+			if got := v.HopCount(src, dst); got != len(buf) {
+				t.Fatalf("HopCount(%d,%d) = %d, path length %d", src, dst, got, len(buf))
+			}
+		}
+	}
+}
+
+func TestValiantNeverShorterThanMinimal(t *testing.T) {
+	v := newValiant(t, 4, 2, 2)
+	for src := 0; src < v.Nodes(); src += 3 {
+		for dst := 0; dst < v.Nodes(); dst += 2 {
+			min := v.Dragonfly.HopCount(src, dst)
+			val := v.HopCount(src, dst)
+			if val < min {
+				t.Fatalf("valiant %d < minimal %d for (%d,%d)", val, min, src, dst)
+			}
+			if val > 8 {
+				t.Fatalf("valiant hop count %d exceeds bound", val)
+			}
+		}
+	}
+}
+
+func TestValiantPivotAvoidsEndGroups(t *testing.T) {
+	v := newValiant(t, 4, 2, 2)
+	for src := 0; src < v.Nodes(); src += 5 {
+		for dst := 0; dst < v.Nodes(); dst += 7 {
+			gs, gd := src/8, dst/8
+			if gs == gd {
+				continue
+			}
+			gi := v.pivotGroup(src, dst)
+			if gi == gs || gi == gd {
+				t.Fatalf("pivot %d collides with endpoints (%d,%d)", gi, gs, gd)
+			}
+		}
+	}
+}
+
+func TestValiantIntraGroupIsMinimal(t *testing.T) {
+	v := newValiant(t, 4, 2, 2)
+	// Nodes 0 and 3 share group 0.
+	if v.HopCount(0, 3) != v.Dragonfly.HopCount(0, 3) {
+		t.Fatal("intra-group valiant should route minimally")
+	}
+}
+
+func TestValiantUsesTwoGlobalLinks(t *testing.T) {
+	v := newValiant(t, 4, 2, 2)
+	classes := v.LinkClasses()
+	buf, err := v.Route(0, 70, nil) // different groups
+	if err != nil {
+		t.Fatal(err)
+	}
+	globals := 0
+	for _, li := range buf {
+		if classes[li] == ClassGlobal {
+			globals++
+		}
+	}
+	if globals != 2 {
+		t.Fatalf("valiant globals = %d, want 2", globals)
+	}
+}
+
+func TestValiantDeterministicPerSeed(t *testing.T) {
+	d, err := NewDragonfly(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := NewValiant(d, 7)
+	v2, _ := NewValiant(d, 7)
+	v3, _ := NewValiant(d, 8)
+	same, diff := true, false
+	for src := 0; src < 72; src += 5 {
+		for dst := 0; dst < 72; dst += 7 {
+			if v1.HopCount(src, dst) != v2.HopCount(src, dst) {
+				same = false
+			}
+			if v1.HopCount(src, dst) != v3.HopCount(src, dst) {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different routes")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical routes everywhere (suspicious)")
+	}
+}
+
+func TestValiantAverageExceedsMinimalUnderUniformTraffic(t *testing.T) {
+	v := newValiant(t, 6, 3, 3)
+	var minSum, valSum int
+	pairs := 0
+	for src := 0; src < v.Nodes(); src += 11 {
+		for dst := 0; dst < v.Nodes(); dst += 13 {
+			if src == dst {
+				continue
+			}
+			minSum += v.Dragonfly.HopCount(src, dst)
+			valSum += v.HopCount(src, dst)
+			pairs++
+		}
+	}
+	if valSum <= minSum {
+		t.Fatalf("valiant total %d not above minimal %d over %d pairs", valSum, minSum, pairs)
+	}
+}

@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Meta: Meta{App: "LULESH", Ranks: 8, WallTime: 54.14},
+		Events: []Event{
+			{Rank: 0, Op: OpSend, Peer: 1, Root: -1, Bytes: 4096, Comm: 0, Start: 10, End: 20},
+			{Rank: 1, Op: OpRecv, Peer: 0, Root: -1, Bytes: 4096, Comm: 0, Start: 12, End: 22},
+			{Rank: 2, Op: OpBcast, Peer: -1, Root: 0, Bytes: 64, Comm: 0, Start: 30, End: 31},
+			{Rank: 3, Op: OpAllreduce, Peer: -1, Root: -1, Bytes: 8, Comm: 0, Start: 40, End: 45},
+			{Rank: 7, Op: OpBarrier, Peer: -1, Root: -1, Bytes: 0, Comm: 0, Start: 50, End: 51},
+		},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+}
+
+func TestBinaryRoundTripEmptyEvents(t *testing.T) {
+	orig := &Trace{Meta: Meta{App: "empty", Ranks: 2, WallTime: 0}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != orig.Meta || len(got.Events) != 0 {
+		t.Fatalf("mismatch: %+v", got)
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("XXXXjunkjunkjunk")); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncate mid-record and mid-header.
+	for _, n := range []int{2, 10, len(full) - 5} {
+		_, err := ReadTrace(bytes.NewReader(full[:n]))
+		if err == nil {
+			t.Errorf("truncation at %d not detected", n)
+		}
+	}
+}
+
+func TestWriterDeclaredCountEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{App: "x", Ranks: 2, WallTime: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Event{Rank: 0, Op: OpSend, Peer: 1, Root: -1, Bytes: 1}
+	if err := w.Write(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(ev); err == nil {
+		t.Fatal("write beyond declared count should fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := NewWriter(&buf, Meta{App: "x", Ranks: 2, WallTime: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Write(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err == nil {
+		t.Fatal("Close with missing events should fail")
+	}
+}
+
+func TestWriterRejectsInvalidEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{App: "x", Ranks: 2, WallTime: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Event{Rank: 5, Op: OpSend, Peer: 1, Root: -1}); err == nil {
+		t.Fatal("invalid event accepted")
+	}
+}
+
+func TestWriterRejectsBadMeta(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Meta{Ranks: 0}, 0); err == nil {
+		t.Fatal("bad meta accepted")
+	}
+}
+
+func TestReaderStreaming(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta() != orig.Meta {
+		t.Fatalf("meta mismatch: %+v", r.Meta())
+	}
+	if r.Remaining() != uint64(len(orig.Events)) {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	for i := range orig.Events {
+		e, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if e != orig.Events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, e, orig.Events[i])
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("text round trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+}
+
+func TestTextSkipsCommentsAndBlankLines(t *testing.T) {
+	in := "#netloc-trace app=t ranks=2 wall=1\n\n# a comment\n0 send 1 -1 5 0 0 0\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 1 || got.Events[0].Bytes != 5 {
+		t.Fatalf("unexpected events: %+v", got.Events)
+	}
+}
+
+func TestTextHeaderErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"#netloc-trace app=x wall=1\n",          // missing ranks
+		"#netloc-trace ranks=abc\n",             // bad ranks
+		"#netloc-trace ranks=2 wall=zz\n",       // bad wall
+		"#netloc-trace ranks=2 bogus=1\n",       // unknown field
+		"#netloc-trace ranks=2 noequalsign\n",   // malformed field
+		"#netloc-trace app=x ranks=0 wall=1\n",  // invalid meta
+		"#netloc-trace app=x ranks=2 wall=-1\n", // negative wall
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("header %q should fail", in)
+		}
+	}
+}
+
+func TestTextEventErrors(t *testing.T) {
+	header := "#netloc-trace app=t ranks=2 wall=1\n"
+	cases := []string{
+		"0 send 1 -1 5 0 0\n",     // too few fields
+		"0 send 1 -1 5 0 0 0 9\n", // too many fields
+		"x send 1 -1 5 0 0 0\n",   // bad rank
+		"0 nope 1 -1 5 0 0 0\n",   // bad op
+		"0 send y -1 5 0 0 0\n",   // bad peer
+		"0 send 1 zz 5 0 0 0\n",   // bad root
+		"0 send 1 -1 -5 0 0 0\n",  // negative bytes
+		"0 send 1 -1 5 q 0 0\n",   // bad comm
+		"0 send 1 -1 5 0 q 0\n",   // bad start
+		"0 send 1 -1 5 0 0 q\n",   // bad end
+		"0 send 3 -1 5 0 0 0\n",   // peer out of range
+	}
+	for _, line := range cases {
+		if _, err := ReadText(strings.NewReader(header + line)); err == nil {
+			t.Errorf("line %q should fail", strings.TrimSpace(line))
+		}
+	}
+}
+
+func TestTextAppNameSanitized(t *testing.T) {
+	tr := &Trace{Meta: Meta{App: "has space", Ranks: 2, WallTime: 1}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.App != "has_space" {
+		t.Fatalf("app = %q", got.Meta.App)
+	}
+}
+
+func randomEvent(rng *rand.Rand, ranks int) Event {
+	ops := []Op{OpSend, OpRecv, OpBcast, OpReduce, OpAllreduce, OpGather,
+		OpScatter, OpAllgather, OpAlltoall, OpAlltoallv, OpBarrier}
+	op := ops[rng.Intn(len(ops))]
+	e := Event{
+		Rank:  rng.Intn(ranks),
+		Op:    op,
+		Peer:  -1,
+		Root:  -1,
+		Bytes: uint64(rng.Intn(1 << 20)),
+		Comm:  0,
+		Start: uint64(rng.Intn(1 << 30)),
+	}
+	e.End = e.Start + uint64(rng.Intn(1000))
+	if op.IsP2P() {
+		e.Peer = (e.Rank + 1 + rng.Intn(ranks-1)) % ranks
+	}
+	switch op {
+	case OpBcast, OpReduce, OpGather, OpScatter:
+		e.Root = rng.Intn(ranks)
+	}
+	return e
+}
+
+// Property: binary and text codecs round-trip arbitrary valid traces.
+func TestCodecsRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, ranksRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 2 + int(ranksRaw)%30
+		n := int(nRaw) % 64
+		tr := &Trace{Meta: Meta{App: "prop", Ranks: ranks, WallTime: 1.5}}
+		for i := 0; i < n; i++ {
+			tr.Events = append(tr.Events, randomEvent(rng, ranks))
+		}
+		var bin bytes.Buffer
+		if err := WriteTrace(&bin, tr); err != nil {
+			return false
+		}
+		back, err := ReadTrace(&bin)
+		if err != nil || back.Meta != tr.Meta {
+			return false
+		}
+		if len(tr.Events) == 0 {
+			if len(back.Events) != 0 {
+				return false
+			}
+		} else if !reflect.DeepEqual(tr.Events, back.Events) {
+			return false
+		}
+		var txt bytes.Buffer
+		if err := WriteText(&txt, tr); err != nil {
+			return false
+		}
+		back2, err := ReadText(&txt)
+		if err != nil {
+			return false
+		}
+		if len(tr.Events) == 0 {
+			return len(back2.Events) == 0 && back2.Meta == tr.Meta
+		}
+		return reflect.DeepEqual(tr, back2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

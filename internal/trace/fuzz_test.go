@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestBinaryReaderSurvivesCorruption flips random bytes in valid trace
+// streams and checks the reader either returns an error or a trace whose
+// events all validate — it must never panic or return invalid events.
+func TestBinaryReaderSurvivesCorruption(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 500; trial++ {
+		corrupted := append([]byte(nil), clean...)
+		flips := 1 + rng.Intn(4)
+		for i := 0; i < flips; i++ {
+			pos := rng.Intn(len(corrupted))
+			corrupted[pos] ^= byte(1 + rng.Intn(255))
+		}
+		tr, err := ReadTrace(bytes.NewReader(corrupted))
+		if err != nil {
+			continue // rejected: fine
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: reader returned invalid trace: %v", trial, err)
+		}
+	}
+}
+
+// TestBinaryReaderSurvivesTruncationEverywhere truncates a valid stream at
+// every byte offset: all prefixes must be rejected or parse to a valid
+// trace (a prefix that happens to contain fewer declared events cannot
+// occur because the count is in the header, so errors are expected).
+func TestBinaryReaderSurvivesTruncationEverywhere(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for n := 0; n < len(clean); n++ {
+		if _, err := ReadTrace(bytes.NewReader(clean[:n])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", n, len(clean))
+		}
+	}
+	if _, err := ReadTrace(bytes.NewReader(clean)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+}
+
+// TestTextReaderSurvivesRandomJunk feeds random printable junk to the text
+// parser: it must error out, never panic.
+func TestTextReaderSurvivesRandomJunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("abcdefgh0123456789 .-#\n=")
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(200)
+		junk := make([]byte, n)
+		for i := range junk {
+			junk[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		tr, err := ReadText(bytes.NewReader(junk))
+		if err == nil {
+			// Only acceptable if it parsed into a valid trace (e.g. the
+			// junk happened to start with a valid header).
+			if vErr := tr.Validate(); vErr != nil {
+				t.Fatalf("trial %d: junk parsed to invalid trace: %v", trial, vErr)
+			}
+		}
+	}
+}
+
+// TestHeaderLengthFieldAbuse checks hostile header length fields don't
+// cause huge allocations or panics.
+func TestHeaderLengthFieldAbuse(t *testing.T) {
+	// Magic + absurd app length with nothing after it.
+	data := append([]byte(binaryMagic), 0xFF, 0xFF)
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated huge app name accepted")
+	}
+	// Valid-ish header declaring 2^63 events but carrying none.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{App: "x", Ranks: 2, WallTime: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The event-count field is the last 8 bytes of the header.
+	for i := len(raw) - 8; i < len(raw); i++ {
+		raw[i] = 0xFF
+	}
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("huge declared event count with empty body accepted")
+	}
+}

@@ -1,0 +1,256 @@
+package workloads
+
+import "netloc/internal/trace"
+
+// This file defines the stencil-structured applications: AMG, LULESH,
+// FillBoundary, MultiGrid_C, Boxlib MultiGrid C, MiniFE, and Nekbone. They
+// all decompose a 3D domain across ranks and exchange halos with grid
+// neighbors; the families differ in which neighbors participate (faces /
+// edges / corners), whether coarser multigrid levels add strided partners,
+// and how much collective traffic accompanies the solves.
+
+// faceHeavy reflects a one-cell-deep ghost layer on a 32^3 subdomain:
+// faces move whole planes (32x32 cells), edges pencils (32), corners
+// single cells — so faces carry ~94% of an interior rank's halo volume.
+var faceHeavy = stencilWeights{face: 1024, edge: 32, corner: 1}
+
+// amgApp models the AMG algebraic-multigrid solve: a 27-point stencil on a
+// cubic decomposition with geometrically coarsening levels (stride-doubled
+// partners, shrinking volumes) and a small aggregation exchange toward
+// rank 0 on the coarsest level. 100% point-to-point per Table 1.
+func amgApp() *App {
+	return &App{
+		Name: "AMG",
+		Scales: []Scale{
+			{Ranks: 8, VolMB: 3.0, RateMBps: 116.3, P2PPct: 100},
+			{Ranks: 27, VolMB: 13.6, RateMBps: 86.98, P2PPct: 100},
+			{Ranks: 216, VolMB: 136.9, RateMBps: 461.5, P2PPct: 100},
+			{Ranks: 1728, VolMB: 1208, RateMBps: 413.7, P2PPct: 100},
+		},
+		pattern: func(s Scale) (*spec, error) {
+			g, err := factor3(s.Ranks)
+			if err != nil {
+				return nil, err
+			}
+			sp := newSpec(s)
+			const iters = 8
+			// Coarse levels shrink fast: both the grid and the ghost
+			// surfaces coarsen, so each level carries ~1/32 of the
+			// previous one's volume (fine-level faces stay > 90% of any
+			// rank's traffic, which is what makes AMG fully
+			// three-dimensional in the paper's Table 4).
+			levelW := 1.0
+			for stride := 1; stride < g.x; stride *= 2 {
+				addStencil(sp, g, stride, stencilWeights{
+					face:   faceHeavy.face * levelW,
+					edge:   faceHeavy.edge * levelW,
+					corner: faceHeavy.corner * levelW,
+				}, iters)
+				levelW /= 32
+			}
+			// Coarse-level aggregation: the stride-2 active set exchanges
+			// small setup/solve vectors with rank 0.
+			for id := 0; id < g.ranks(); id++ {
+				cx, cy, cz := g.coords(id)
+				if id == 0 || cx%2 != 0 || cy%2 != 0 || cz%2 != 0 {
+					continue
+				}
+				sp.send(id, 0, 0.05, 2)
+				sp.send(0, id, 0.05, 2)
+			}
+			return sp, nil
+		},
+	}
+}
+
+// luleshApp models the LULESH shock-hydro proxy: a pure 27-point stencil
+// on a cubic decomposition, faces dominating strongly (the paper's
+// Figure 1 uses LULESH rank 0 as the selectivity illustration).
+func luleshApp() *App {
+	return &App{
+		Name: "LULESH",
+		Scales: []Scale{
+			{Ranks: 64, VolMB: 3585, RateMBps: 81.43, P2PPct: 100},
+			{Ranks: 512, VolMB: 33548, RateMBps: 667.8, P2PPct: 100},
+		},
+		pattern: func(s Scale) (*spec, error) {
+			g, err := factor3(s.Ranks)
+			if err != nil {
+				return nil, err
+			}
+			sp := newSpec(s)
+			addStencil(sp, g, 1, faceHeavy, 20)
+			return sp, nil
+		},
+	}
+}
+
+// fillBoundaryApp models the Boxlib FillBoundary kernel: one ghost-cell
+// exchange across the full 27-point neighborhood, repeated a few times.
+func fillBoundaryApp() *App {
+	return &App{
+		Name: "FillBoundary",
+		Scales: []Scale{
+			{Ranks: 125, VolMB: 10209, RateMBps: 4393, P2PPct: 100},
+			{Ranks: 1000, VolMB: 92323, RateMBps: 17549, P2PPct: 100},
+		},
+		pattern: func(s Scale) (*spec, error) {
+			g, err := factor3(s.Ranks)
+			if err != nil {
+				return nil, err
+			}
+			sp := newSpec(s)
+			addStencil(sp, g, 1, faceHeavy, 10)
+			return sp, nil
+		},
+	}
+}
+
+// multiGridCApp models the standalone MultiGrid_C benchmark: face+edge
+// halo exchange on the fine level plus strided face exchanges on coarser
+// levels whose volumes stay substantial — which is what stretches its rank
+// distance well beyond the plain stencil apps in Table 3.
+func multiGridCApp() *App {
+	return &App{
+		Name: "MultiGrid_C",
+		Scales: []Scale{
+			{Ranks: 125, VolMB: 374, RateMBps: 4889.0, P2PPct: 100},
+			{Ranks: 1000, VolMB: 2973, RateMBps: 832.83, P2PPct: 100},
+		},
+		pattern: func(s Scale) (*spec, error) {
+			g, err := factor3(s.Ranks)
+			if err != nil {
+				return nil, err
+			}
+			sp := newSpec(s)
+			// Fine level: faces and edges only (peers ~22 for interior
+			// ranks, matching the paper).
+			addStencil(sp, g, 1, stencilWeights{face: 32, edge: 4, corner: 0}, 6)
+			// Coarse levels: strided faces with slowly decaying volume.
+			levelW := 0.5
+			for stride := 2; stride < g.x; stride *= 2 {
+				addStencil(sp, g, stride, stencilWeights{face: 32 * levelW}, 4)
+				levelW /= 2
+			}
+			return sp, nil
+		},
+	}
+}
+
+// boxMGApp models Boxlib's MultiGrid C solver: a 27-point stencil with
+// multigrid levels, constant 26-peer neighborhoods (Table 3) and a trace
+// of allreduce convergence checks.
+func boxMGApp() *App {
+	return &App{
+		Name: "Boxlib MultiGrid C",
+		Star: false,
+		Scales: []Scale{
+			{Ranks: 64, VolMB: 23742, RateMBps: 102.6, P2PPct: 99.94},
+			{Ranks: 256, VolMB: 44535, RateMBps: 718.2, P2PPct: 99.95},
+			{Ranks: 1024, VolMB: 75181, RateMBps: 3600.9, P2PPct: 99.94},
+		},
+		pattern: func(s Scale) (*spec, error) {
+			g, err := factor3(s.Ranks)
+			if err != nil {
+				return nil, err
+			}
+			sp := newSpec(s)
+			addStencil(sp, g, 1, faceHeavy, 12)
+			levelW := 0.25
+			for stride := 2; stride < g.x; stride *= 2 {
+				addStencil(sp, g, stride, stencilWeights{
+					face: faceHeavy.face * levelW,
+					edge: faceHeavy.edge * levelW,
+				}, 6)
+				levelW /= 4
+			}
+			sp.collective(trace.OpAllreduce, -1, 1, 20)
+			return sp, nil
+		},
+	}
+}
+
+// miniFEApp models the MiniFE finite-element proxy: halo exchange with
+// faces, edges, and the four positive-parity corners (~22 interior peers,
+// Table 3) plus tiny CG dot-product allreduces.
+func miniFEApp() *App {
+	return &App{
+		Name: "MiniFE",
+		Scales: []Scale{
+			{Ranks: 18, VolMB: 1615, RateMBps: 27.06, P2PPct: 100},
+			{Ranks: 144, VolMB: 16586, RateMBps: 271.63, P2PPct: 99.99},
+			{Ranks: 1152, VolMB: 147264, RateMBps: 1737.7, P2PPct: 99.96},
+		},
+		pattern: func(s Scale) (*spec, error) {
+			g, err := factor3(s.Ranks)
+			if err != nil {
+				return nil, err
+			}
+			sp := newSpec(s)
+			const iters = 15
+			for id := 0; id < g.ranks(); id++ {
+				cx, cy, cz := g.coords(id)
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							if !g.inBounds(cx+dx, cy+dy, cz+dz) {
+								continue
+							}
+							order := absInt(dx) + absInt(dy) + absInt(dz)
+							w := 0.0
+							switch order {
+							case 1:
+								w = faceHeavy.face
+							case 2:
+								w = faceHeavy.edge
+							case 3:
+								// Only the four corners with positive
+								// orientation parity take part.
+								if dx*dy*dz > 0 {
+									w = faceHeavy.corner
+								}
+							}
+							if w > 0 {
+								sp.send(id, g.id(cx+dx, cy+dy, cz+dz), w, iters)
+							}
+						}
+					}
+				}
+			}
+			if s.P2PPct < 100 {
+				sp.collective(trace.OpAllreduce, -1, 1, 30)
+			}
+			return sp, nil
+		},
+	}
+}
+
+// nekboneApp models the Nekbone spectral-element CG proxy: a 27-point
+// element-neighborhood exchange plus allreduce dot products; the 256-rank
+// trace in Table 1 is dominated by an unusually large collective share.
+func nekboneApp() *App {
+	return &App{
+		Name: "CESAR Nekbone",
+		Star: true,
+		Scales: []Scale{
+			{Ranks: 64, VolMB: 5307, RateMBps: 448.8, P2PPct: 100},
+			{Ranks: 256, VolMB: 1272, RateMBps: 401.8, P2PPct: 50.66},
+			{Ranks: 1024, VolMB: 13232, RateMBps: 2568.8, P2PPct: 99.98},
+		},
+		pattern: func(s Scale) (*spec, error) {
+			g, err := factor3(s.Ranks)
+			if err != nil {
+				return nil, err
+			}
+			sp := newSpec(s)
+			addStencil(sp, g, 1, faceHeavy, 25)
+			if s.P2PPct < 100 {
+				sp.collective(trace.OpAllreduce, -1, 1, 50)
+			}
+			return sp, nil
+		},
+	}
+}

@@ -1,0 +1,26 @@
+package workloads
+
+import "testing"
+
+func benchGenerate(b *testing.B, app string, ranks int) {
+	b.Helper()
+	a, err := Lookup(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Generate(ranks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateLULESH64(b *testing.B)  { benchGenerate(b, "LULESH", 64) }
+func BenchmarkGenerateLULESH512(b *testing.B) { benchGenerate(b, "LULESH", 512) }
+func BenchmarkGenerateAMG1728(b *testing.B)   { benchGenerate(b, "AMG", 1728) }
+func BenchmarkGenerateCNS1024(b *testing.B)   { benchGenerate(b, "Boxlib CNS", 1024) }
+func BenchmarkGeneratePARTISN(b *testing.B)   { benchGenerate(b, "PARTISN", 168) }
+func BenchmarkGenerateBigFFT1024(b *testing.B) {
+	benchGenerate(b, "BigFFT", 1024)
+}

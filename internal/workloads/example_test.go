@@ -1,0 +1,30 @@
+package workloads_test
+
+import (
+	"fmt"
+
+	"netloc/internal/workloads"
+)
+
+// Every workload of the paper's Table 1 is available by name and scale.
+func ExampleLookup() {
+	app, _ := workloads.Lookup("LULESH")
+	fmt.Println(app.Name, app.RankCounts())
+
+	tr, _ := app.Generate(64)
+	fmt.Printf("%d ranks, %d events, %.0fs wall time\n",
+		tr.Meta.Ranks, len(tr.Events), tr.Meta.WallTime)
+	// Output:
+	// LULESH [64 512]
+	// 64 ranks, 18720 events, 44s wall time
+}
+
+// ScaleAt extrapolates the Table 1 calibration to rank counts the paper
+// never measured, using power-law fits over the published scales.
+func ExampleApp_ScaleAt() {
+	app, _ := workloads.Lookup("AMG")
+	s, _ := app.ScaleAt(4096)
+	fmt.Printf("AMG at %d ranks: ~%.0f MB, 100%% p2p\n", s.Ranks, s.VolMB)
+	// Output:
+	// AMG at 4096 ranks: ~3351 MB, 100% p2p
+}

@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScaleAtConfiguredScalePassesThrough(t *testing.T) {
+	a, _ := Lookup("AMG")
+	s, err := a.ScaleAt(216)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.ScaleFor(216)
+	if s != want {
+		t.Fatalf("ScaleAt(216) = %+v, want table row %+v", s, want)
+	}
+}
+
+func TestScaleAtExtrapolates(t *testing.T) {
+	a, _ := Lookup("LULESH")
+	s, err := a.ScaleAt(4096) // 16^3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ranks != 4096 {
+		t.Fatalf("ranks = %d", s.Ranks)
+	}
+	// Volume must exceed the largest configured scale and follow the
+	// power law: LULESH goes 3585 MB at 64 to 33548 MB at 512, i.e.
+	// V ~ ranks^1.07; at 4096 that is roughly 313 GB.
+	big, _ := a.ScaleFor(512)
+	if s.VolMB <= big.VolMB {
+		t.Fatalf("extrapolated volume %v not above largest scale %v", s.VolMB, big.VolMB)
+	}
+	b := math.Log(33548/3585.0) / math.Log(512/64.0)
+	want := 33548 * math.Pow(4096/512.0, b)
+	if math.Abs(s.VolMB-want) > 0.05*want {
+		t.Fatalf("extrapolated volume %v, want ~%v", s.VolMB, want)
+	}
+	if s.P2PPct != 100 {
+		t.Fatalf("p2p share = %v", s.P2PPct)
+	}
+	if s.RateMBps <= 0 {
+		t.Fatal("rate missing")
+	}
+}
+
+func TestScaleAtInterpolates(t *testing.T) {
+	// A rank count between configured scales lands between their values.
+	a, _ := Lookup("AMG")
+	s, err := a.ScaleAt(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := a.ScaleFor(216)
+	hi, _ := a.ScaleFor(1728)
+	if s.VolMB <= lo.VolMB || s.VolMB >= hi.VolMB {
+		t.Fatalf("interpolated volume %v outside (%v, %v)", s.VolMB, lo.VolMB, hi.VolMB)
+	}
+}
+
+func TestScaleAtSingleScaleApps(t *testing.T) {
+	for _, name := range []string{"PARTISN", "SNAP"} {
+		a, _ := Lookup(name)
+		if _, err := a.ScaleAt(500); err == nil {
+			t.Errorf("%s: single-scale extrapolation accepted", name)
+		}
+		// The configured scale still works.
+		if _, err := a.ScaleAt(168); err != nil {
+			t.Errorf("%s: configured scale failed: %v", name, err)
+		}
+	}
+}
+
+func TestScaleAtValidation(t *testing.T) {
+	a, _ := Lookup("AMG")
+	if _, err := a.ScaleAt(0); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := a.ScaleAt(-5); err == nil {
+		t.Fatal("negative ranks accepted")
+	}
+}
+
+func TestGenerateAtBeyondPaperScale(t *testing.T) {
+	a, _ := Lookup("LULESH")
+	tr, err := a.GenerateAt(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Ranks != 4096 {
+		t.Fatalf("ranks = %d", tr.Meta.Ranks)
+	}
+	p2p, coll := tr.TotalBytes()
+	if coll != 0 {
+		t.Fatalf("collective bytes = %d", coll)
+	}
+	s, _ := a.ScaleAt(4096)
+	got := float64(p2p)
+	want := s.VolMB * 1e6
+	if math.Abs(got-want) > 0.01*want {
+		t.Fatalf("volume %v, want %v", got, want)
+	}
+}
+
+func TestGenerateAtUnfactorableRanksFails(t *testing.T) {
+	// 4099 is prime: no near-cubic 3D factorization for a stencil app.
+	a, _ := Lookup("LULESH")
+	if _, err := a.GenerateAt(4099); err == nil {
+		t.Fatal("prime rank count accepted for a 3D stencil app")
+	}
+}
+
+func TestGenerateAtMatchesGenerateOnTableScales(t *testing.T) {
+	a, _ := Lookup("MiniFE")
+	t1, err := a.Generate(144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := a.GenerateAt(144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Events) != len(t2.Events) || t1.Meta != t2.Meta {
+		t.Fatal("GenerateAt diverges from Generate on a configured scale")
+	}
+}

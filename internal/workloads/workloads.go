@@ -1,0 +1,288 @@
+// Package workloads generates synthetic dumpi-like traces for the 16 DOE
+// exascale proxy mini-apps the study analyzes.
+//
+// The original study consumes real MPI traces from the Sandia dumpi
+// repository. Those traces are not redistributable here, so each mini-app
+// is replaced by a deterministic generator that reproduces the app's
+// published communication *structure* (3D 27-point stencils, 2D KBA
+// sweeps, FFT transposes, multigrid level hierarchies, AMR refinement,
+// CG solvers, crystal-router staged exchange) with volumes, execution
+// times, and point-to-point/collective splits calibrated to the paper's
+// Table 1. Every locality metric of the study is a pure function of the
+// (source, destination, bytes, op) stream, so matching the spatial pattern
+// and volume mix exercises the same code paths and preserves the shape of
+// every downstream result.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netloc/internal/trace"
+)
+
+// Scale is one calibrated configuration of an application (one row of the
+// paper's Table 1).
+type Scale struct {
+	Ranks int
+	// VolMB is the caller-side traffic volume in megabytes (10^6 bytes),
+	// point-to-point plus collective.
+	VolMB float64
+	// RateMBps is the throughput column (Vol./t); the execution time is
+	// derived as VolMB / RateMBps, which is more precise than the
+	// table's rounded time column.
+	RateMBps float64
+	// P2PPct is the point-to-point share of the volume in percent.
+	P2PPct float64
+}
+
+// Time returns the execution time in seconds.
+func (s Scale) Time() float64 { return s.VolMB / s.RateMBps }
+
+// App is a synthetic workload generator for one mini-app.
+type App struct {
+	// Name is the application name as used in the paper's tables.
+	Name string
+	// Star marks applications that use MPI derived datatypes in the
+	// original traces (the paper sizes those at one byte per element).
+	Star bool
+	// Scales lists the calibrated configurations.
+	Scales []Scale
+	// pattern builds the communication pattern for one scale.
+	pattern func(s Scale) (*spec, error)
+}
+
+// Generate produces the synthetic trace for the given rank count, which
+// must be one of the app's scales.
+func (a *App) Generate(ranks int) (*trace.Trace, error) {
+	for _, s := range a.Scales {
+		if s.Ranks == ranks {
+			sp, err := a.pattern(s)
+			if err != nil {
+				return nil, fmt.Errorf("workloads: %s/%d: %w", a.Name, ranks, err)
+			}
+			sp.name = a.Name
+			return sp.build()
+		}
+	}
+	return nil, fmt.Errorf("workloads: %s has no %d-rank configuration", a.Name, ranks)
+}
+
+// RankCounts returns the app's configured scales in ascending order.
+func (a *App) RankCounts() []int {
+	out := make([]int, len(a.Scales))
+	for i, s := range a.Scales {
+		out[i] = s.Ranks
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ScaleFor returns the calibration row for a rank count.
+func (a *App) ScaleFor(ranks int) (Scale, error) {
+	for _, s := range a.Scales {
+		if s.Ranks == ranks {
+			return s, nil
+		}
+	}
+	return Scale{}, fmt.Errorf("workloads: %s has no %d-rank configuration", a.Name, ranks)
+}
+
+// pairMsg is a logical point-to-point exchange: weight units of relative
+// volume from src to dst, split into msgs messages.
+type pairMsg struct {
+	src, dst int
+	weight   float64
+	msgs     int
+}
+
+// collCall is a collective operation repeated calls times, recorded at
+// every rank with a relative per-event weight.
+type collCall struct {
+	op     trace.Op
+	root   int
+	weight float64
+	calls  int
+}
+
+// spec is an uncalibrated communication pattern; build scales it to the
+// target volumes and assembles the trace.
+type spec struct {
+	name       string
+	ranks      int
+	wall       float64 // seconds
+	targetP2P  float64 // bytes
+	targetColl float64 // bytes
+	p2p        []pairMsg
+	colls      []collCall
+}
+
+func newSpec(s Scale) *spec {
+	vol := s.VolMB * 1e6
+	return &spec{
+		ranks:      s.Ranks,
+		wall:       s.Time(),
+		targetP2P:  vol * s.P2PPct / 100,
+		targetColl: vol * (100 - s.P2PPct) / 100,
+	}
+}
+
+// send adds a logical p2p exchange (ignored when weight is zero or the
+// endpoints coincide).
+func (sp *spec) send(src, dst int, weight float64, msgs int) {
+	if weight <= 0 || src == dst {
+		return
+	}
+	if msgs < 1 {
+		msgs = 1
+	}
+	sp.p2p = append(sp.p2p, pairMsg{src: src, dst: dst, weight: weight, msgs: msgs})
+}
+
+// collective adds a collective call series.
+func (sp *spec) collective(op trace.Op, root int, weight float64, calls int) {
+	if calls < 1 || weight < 0 {
+		return
+	}
+	sp.colls = append(sp.colls, collCall{op: op, root: root, weight: weight, calls: calls})
+}
+
+// build calibrates the pattern to the target volumes and assembles a
+// validated trace. P2P weights are scaled so the summed message bytes hit
+// targetP2P; collective weights so the caller-side event bytes (one event
+// per rank per call) hit targetColl.
+func (sp *spec) build() (*trace.Trace, error) {
+	if sp.ranks <= 0 {
+		return nil, fmt.Errorf("workloads: non-positive rank count %d", sp.ranks)
+	}
+	if sp.targetP2P > 0 && len(sp.p2p) == 0 {
+		return nil, fmt.Errorf("workloads: %s wants %g p2p bytes but has no p2p pattern", sp.name, sp.targetP2P)
+	}
+	if sp.targetColl > 0 && len(sp.colls) == 0 {
+		return nil, fmt.Errorf("workloads: %s wants %g collective bytes but has no collective pattern", sp.name, sp.targetColl)
+	}
+
+	var sumP2P float64
+	for _, p := range sp.p2p {
+		sumP2P += p.weight
+	}
+	var sumColl float64
+	for _, c := range sp.colls {
+		sumColl += c.weight * float64(c.calls) * float64(sp.ranks)
+	}
+
+	nEvents := 0
+	for _, p := range sp.p2p {
+		nEvents += p.msgs
+	}
+	for _, c := range sp.colls {
+		nEvents += c.calls * sp.ranks
+	}
+
+	t := &trace.Trace{
+		Meta:   trace.Meta{App: sp.name, Ranks: sp.ranks, WallTime: sp.wall},
+		Events: make([]trace.Event, 0, nEvents),
+	}
+	wallNanos := sp.wall * 1e9
+	if math.IsInf(wallNanos, 0) || math.IsNaN(wallNanos) || wallNanos < 0 {
+		return nil, fmt.Errorf("workloads: %s has invalid wall time %g", sp.name, sp.wall)
+	}
+	dt := uint64(1)
+	if nEvents > 0 && wallNanos >= 1 {
+		dt = uint64(wallNanos / float64(nEvents))
+		if dt == 0 {
+			dt = 1
+		}
+	}
+	clock := uint64(0)
+	stamp := func(e trace.Event) trace.Event {
+		e.Start = clock
+		e.End = clock + dt
+		clock += dt
+		return e
+	}
+
+	for _, p := range sp.p2p {
+		total := uint64(math.Round(p.weight / sumP2P * sp.targetP2P))
+		per := total / uint64(p.msgs)
+		rem := total - per*uint64(p.msgs)
+		for i := 0; i < p.msgs; i++ {
+			b := per
+			if i == 0 {
+				b += rem
+			}
+			t.Events = append(t.Events, stamp(trace.Event{
+				Rank: p.src, Op: trace.OpSend, Peer: p.dst, Root: -1, Bytes: b,
+			}))
+		}
+	}
+	for _, c := range sp.colls {
+		var b uint64
+		if sumColl > 0 && sp.targetColl > 0 {
+			b = uint64(math.Round(c.weight / sumColl * sp.targetColl))
+		}
+		root := c.root
+		if root < 0 {
+			root = 0
+		}
+		for call := 0; call < c.calls; call++ {
+			for r := 0; r < sp.ranks; r++ {
+				ev := trace.Event{Rank: r, Op: c.op, Peer: -1, Root: -1, Bytes: b}
+				switch c.op {
+				case trace.OpBcast, trace.OpReduce, trace.OpGather, trace.OpGatherv,
+					trace.OpScatter, trace.OpScatterv:
+					ev.Root = root
+				}
+				t.Events = append(t.Events, stamp(ev))
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("workloads: %s generated invalid trace: %w", sp.name, err)
+	}
+	return t, nil
+}
+
+// registry of all applications, populated by the per-app files' init-free
+// constructors.
+var registry = func() map[string]*App {
+	apps := []*App{
+		amgApp(), amrApp(), bigFFTApp(), cnsApp(), boxMGApp(), mocfeApp(),
+		nekboneApp(), crystalApp(), cmcApp(), luleshApp(), fillBoundaryApp(),
+		miniFEApp(), multiGridCApp(), partisnApp(), snapApp(),
+	}
+	m := make(map[string]*App, len(apps))
+	for _, a := range apps {
+		m[a.Name] = a
+	}
+	return m
+}()
+
+// Lookup returns the app with the given name.
+func Lookup(name string) (*App, error) {
+	a, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown application %q", name)
+	}
+	return a, nil
+}
+
+// Names returns all application names in alphabetical order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all applications sorted by name.
+func All() []*App {
+	out := make([]*App, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Runs every example end to end; used as a smoke test of the public API
+# surface (the Go tests cover the libraries, this covers the example
+# binaries themselves).
+set -e
+cd "$(dirname "$0")/.."
+for d in examples/*/; do
+    echo "=== $d ==="
+    go run "./$d"
+    echo
+done
