@@ -29,7 +29,7 @@ import (
 // configurations).
 func BenchmarkTable1Overview(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Table1()
+		rows, err := core.Table1(core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +45,7 @@ func BenchmarkTable1Overview(b *testing.B) {
 // BenchmarkTable2Configs regenerates the topology-configuration ladder.
 func BenchmarkTable2Configs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := core.Table2()
+		rows, err := core.Table2(core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,21 +4,26 @@
 //
 // Usage:
 //
-//	locality -exp table1|table2|table3|table4|fig1|fig3|fig4|fig5|claims [flags]
+//	locality -exp table1|table2|table3|table4|fig1|fig3|fig4|fig5|sim|score|claims [flags]
 //	locality -trace file.nlt [flags]
+//	locality -all dir [flags]
 //	locality -list
 //
 // Flags:
 //
-//	-exp string      experiment to run (default "table3")
-//	-trace string    analyze a binary trace file instead of an experiment
-//	-app string      workload for fig1/fig4 (default "LULESH" / "AMG")
-//	-ranks int       rank count for fig1 (default 64)
-//	-rank int        source rank for fig1 (default 0)
-//	-minranks int    smallest configuration included in fig5 (default 512)
-//	-coverage float  traffic-coverage threshold (default 0.9)
-//	-csv             emit CSV instead of aligned text
-//	-list            list experiments
+//	-exp string       experiment to run (default "table3")
+//	-trace string     analyze a binary trace file instead of an experiment
+//	-all string       run every experiment, writing one file each into this directory
+//	-app string       workload for fig1/fig4 (default "LULESH" / "AMG")
+//	-ranks int        rank count for fig1 (default 64)
+//	-rank int         source rank for fig1 (default 0)
+//	-minranks int     smallest configuration included in fig5 (default 512)
+//	-maxranks int     cap the configuration grid at this rank count (0 = no cap)
+//	-coverage float   traffic-coverage threshold (default 0.9)
+//	-strategy string  collective expansion: direct (the paper's), tree, or ring
+//	-csv              emit CSV instead of aligned text
+//	-json             emit structured JSON (the same encoding the service serves)
+//	-list             list experiments
 package main
 
 import (
@@ -32,19 +37,6 @@ import (
 	"netloc/internal/trace"
 )
 
-// parseStrategy maps the -strategy flag to a collective expansion scheme.
-func parseStrategy(s string) (mpi.Strategy, error) {
-	switch s {
-	case "", "direct":
-		return mpi.StrategyDirect, nil
-	case "tree":
-		return mpi.StrategyTree, nil
-	case "ring":
-		return mpi.StrategyRing, nil
-	}
-	return 0, fmt.Errorf("unknown strategy %q (direct|tree|ring)", s)
-}
-
 func main() {
 	var (
 		exp      = flag.String("exp", "table3", "experiment to run (see -list)")
@@ -53,8 +45,10 @@ func main() {
 		ranks    = flag.Int("ranks", 0, "rank count for fig1")
 		rank     = flag.Int("rank", 0, "source rank for fig1")
 		minRanks = flag.Int("minranks", 0, "smallest configuration included in fig5")
+		maxRanks = flag.Int("maxranks", 0, "cap the configuration grid at this rank count (0 = no cap)")
 		coverage = flag.Float64("coverage", 0, "traffic-coverage threshold (default 0.9)")
 		csv      = flag.Bool("csv", false, "emit CSV")
+		jsonOut  = flag.Bool("json", false, "emit structured JSON")
 		list     = flag.Bool("list", false, "list experiments")
 		outdir   = flag.String("all", "", "run every experiment, writing one file per experiment into this directory")
 		strategy = flag.String("strategy", "direct", "collective expansion: direct (the paper's), tree, or ring")
@@ -69,7 +63,7 @@ func main() {
 		return
 	}
 
-	strat, err := parseStrategy(*strategy)
+	strat, err := mpi.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locality:", err)
 		os.Exit(1)
@@ -81,7 +75,8 @@ func main() {
 		Rank:       *rank,
 		MinRanks:   *minRanks,
 		CSV:        *csv,
-		Options:    core.Options{Coverage: *coverage, Strategy: strat},
+		JSON:       *jsonOut,
+		Options:    core.Options{Coverage: *coverage, Strategy: strat, MaxRanks: *maxRanks},
 	}
 	if *outdir != "" {
 		if err := harness.RunAll(*outdir, params); err != nil {

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"netloc/internal/core"
@@ -58,12 +60,31 @@ func TestParseStrategy(t *testing.T) {
 		"": mpi.StrategyDirect, "direct": mpi.StrategyDirect,
 		"tree": mpi.StrategyTree, "ring": mpi.StrategyRing,
 	} {
-		got, err := parseStrategy(in)
+		got, err := mpi.ParseStrategy(in)
 		if err != nil || got != want {
-			t.Errorf("parseStrategy(%q) = %v, %v", in, got, err)
+			t.Errorf("ParseStrategy(%q) = %v, %v", in, got, err)
 		}
 	}
-	if _, err := parseStrategy("bogus"); err == nil {
+	if _, err := mpi.ParseStrategy("bogus"); err == nil {
 		t.Fatal("bogus strategy accepted")
+	}
+}
+
+// TestDocCommentListsAllFlags guards the usage header at the top of this
+// file against flag drift: every registered flag must appear in the doc
+// comment. (The -strategy flag was missing once already.)
+func TestDocCommentListsAllFlags(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := string(src[:bytes.Index(src, []byte("package main"))])
+	for _, name := range []string{
+		"-exp", "-trace", "-all", "-app", "-ranks", "-rank", "-minranks",
+		"-maxranks", "-coverage", "-strategy", "-csv", "-json", "-list",
+	} {
+		if !strings.Contains(header, name+" ") && !strings.Contains(header, name+"\n") {
+			t.Errorf("doc comment missing flag %s", name)
+		}
 	}
 }

@@ -1,0 +1,89 @@
+// Command netlocd runs the analysis service: a long-running HTTP JSON
+// server exposing the study's experiment grid (tables, figures, claims,
+// scorecard), per-workload analysis, topology inspection, and
+// uploaded-trace analysis, with result caching, request deduplication,
+// bounded compute concurrency, and /metrics observability. See
+// internal/service for the endpoint reference.
+//
+// Usage:
+//
+//	netlocd [flags]
+//
+// Flags:
+//
+//	-addr string     listen address (default ":8537")
+//	-cache int       result-cache entries (default 256)
+//	-workers int     max concurrent computations (default GOMAXPROCS)
+//	-coverage float  traffic-coverage threshold (default 0.9)
+//	-maxranks int    cap the configuration grid at this rank count (0 = no cap)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"netloc/internal/core"
+	"netloc/internal/service"
+)
+
+// run listens on addr and serves the analysis service until ctx is
+// cancelled, then shuts down gracefully. ready (if non-nil) is called
+// with the bound address and the effective (defaults-applied) options
+// once the listener is up.
+func run(ctx context.Context, addr string, opts service.Options, ready func(addr string, eff service.Options)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	svc := service.New(opts)
+	srv := &http.Server{Handler: svc.Handler()}
+	if ready != nil {
+		ready(ln.Addr().String(), svc.Options())
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errc:
+		return err
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8537", "listen address")
+		cache    = flag.Int("cache", 0, "result-cache entries (default 256)")
+		workers  = flag.Int("workers", 0, "max concurrent computations (default GOMAXPROCS)")
+		coverage = flag.Float64("coverage", 0, "traffic-coverage threshold (default 0.9)")
+		maxRanks = flag.Int("maxranks", 0, "cap the configuration grid at this rank count (0 = no cap)")
+	)
+	flag.Parse()
+
+	opts := service.Options{
+		CacheEntries: *cache,
+		Workers:      *workers,
+		Analysis:     core.Options{Coverage: *coverage, MaxRanks: *maxRanks},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, *addr, opts, func(bound string, eff service.Options) {
+		log.Printf("netlocd: serving on %s (cache=%d workers=%d)",
+			bound, eff.CacheEntries, eff.Workers)
+	})
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "netlocd:", err)
+		os.Exit(1)
+	}
+}

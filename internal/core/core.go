@@ -40,6 +40,15 @@ type Options struct {
 	// SkipLinkTracking skips per-link accounting (utilization and the
 	// global-link share stay zero) for faster hop-only runs.
 	SkipLinkTracking bool
+	// MaxRanks caps the configuration grid: experiment drivers skip
+	// configurations (and topology sizes) above it. Zero means no cap.
+	// Used by tests and the analysis service to bound run time.
+	MaxRanks int
+}
+
+// withinCap reports whether a rank count passes the MaxRanks cap.
+func (o Options) withinCap(ranks int) bool {
+	return o.MaxRanks == 0 || ranks <= o.MaxRanks
 }
 
 func (o Options) coverage() float64 {
@@ -91,8 +100,9 @@ type Analysis struct {
 	Dragonfly *TopoResult
 
 	// Acc retains the accumulated matrices for follow-up analyses
-	// (figures, multi-core study, mapping experiments).
-	Acc *comm.Accumulated
+	// (figures, multi-core study, mapping experiments). It is excluded
+	// from JSON encodings: the matrices are large and internal.
+	Acc *comm.Accumulated `json:"-"`
 }
 
 // AnalyzeTrace runs the full pipeline on a materialized trace.
@@ -144,7 +154,7 @@ func AnalyzeAccumulated(acc *comm.Accumulated, opts Options) (*Analysis, error) 
 			return nil, err
 		}
 		for _, cfg := range []topology.Config{torCfg, ftCfg, dfCfg} {
-			res, err := runTopology(acc, cfg, opts)
+			res, err := runTopology(acc, cfg, MappingConsecutive, opts)
 			if err != nil {
 				return nil, fmt.Errorf("core: %s on %s%s: %w", a.App, cfg.Kind, cfg, err)
 			}
@@ -161,12 +171,57 @@ func AnalyzeAccumulated(acc *comm.Accumulated, opts Options) (*Analysis, error) 
 	return a, nil
 }
 
-func runTopology(acc *comm.Accumulated, cfg topology.Config, opts Options) (*TopoResult, error) {
+// Named rank→node mapping strategies accepted by BuildMapping and
+// AnalyzeAppOn. MappingConsecutive is the paper's default.
+const (
+	MappingConsecutive = "consecutive"
+	MappingRandom      = "random"
+	MappingGreedy      = "greedy"
+	MappingRefined     = "refined"
+)
+
+// MappingNames lists the known mapping strategies in preference order.
+func MappingNames() []string {
+	return []string{MappingConsecutive, MappingRandom, MappingGreedy, MappingRefined}
+}
+
+// BuildMapping constructs a named rank→node mapping for a topology. The
+// empty name means the paper's consecutive default; "random" uses a fixed
+// seed so results stay deterministic.
+func BuildMapping(name string, acc *comm.Accumulated, topo topology.Topology) (*mapping.Mapping, error) {
+	switch name {
+	case "", MappingConsecutive:
+		return mapping.Consecutive(acc.Meta.Ranks, topo.Nodes())
+	case MappingRandom:
+		return mapping.Random(acc.Meta.Ranks, topo.Nodes(), 1)
+	case MappingGreedy:
+		return mapping.Greedy(acc.Wire, topo)
+	case MappingRefined:
+		return mapping.Optimize(acc.Wire, topo, 2)
+	}
+	return nil, fmt.Errorf("core: unknown mapping %q (known: %v)", name, MappingNames())
+}
+
+// ConfigFor returns the Table 2 configuration of one topology kind for a
+// rank count.
+func ConfigFor(kind string, ranks int) (topology.Config, error) {
+	switch kind {
+	case "torus":
+		return topology.TorusConfig(ranks)
+	case "fattree":
+		return topology.FatTreeConfig(ranks)
+	case "dragonfly":
+		return topology.DragonflyConfig(ranks)
+	}
+	return topology.Config{}, fmt.Errorf("core: unknown topology %q (known: torus, fattree, dragonfly)", kind)
+}
+
+func runTopology(acc *comm.Accumulated, cfg topology.Config, mappingName string, opts Options) (*TopoResult, error) {
 	topo, err := cfg.Build()
 	if err != nil {
 		return nil, err
 	}
-	mp, err := mapping.Consecutive(acc.Meta.Ranks, topo.Nodes())
+	mp, err := BuildMapping(mappingName, acc, topo)
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +242,44 @@ func runTopology(acc *comm.Accumulated, cfg topology.Config, opts Options) (*Top
 		UsedLinks:      res.UsedLinks,
 		GlobalMsgShare: res.GlobalMsgShare,
 	}, nil
+}
+
+// AnalyzeAppOn analyzes one workload configuration on a selected topology
+// kind ("torus", "fattree", "dragonfly", or "" / "all" for all three)
+// under a named rank→node mapping (see MappingNames; "" means
+// consecutive). It backs the service's /v1/analyze endpoint. The returned
+// Analysis carries only the selected topology block(s); Acc is released.
+func AnalyzeAppOn(name string, ranks int, topoKind, mappingName string, opts Options) (*Analysis, error) {
+	o := opts
+	o.SkipTopologies = true
+	a, err := AnalyzeApp(name, ranks, o)
+	if err != nil {
+		return nil, err
+	}
+	kinds := []string{"torus", "fattree", "dragonfly"}
+	if topoKind != "" && topoKind != "all" {
+		kinds = []string{topoKind}
+	}
+	for _, kind := range kinds {
+		cfg, err := ConfigFor(kind, ranks)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runTopology(a.Acc, cfg, mappingName, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s on %s%s: %w", name, cfg.Kind, cfg, err)
+		}
+		switch kind {
+		case "torus":
+			a.Torus = res
+		case "fattree":
+			a.FatTree = res
+		case "dragonfly":
+			a.Dragonfly = res
+		}
+	}
+	a.Acc = nil
+	return a, nil
 }
 
 // AnalyzeApp generates the synthetic trace for a workload configuration

@@ -41,11 +41,14 @@ type Table1Row struct {
 }
 
 // Table1 regenerates the workload-overview table by generating and
-// accounting every synthetic trace.
-func Table1() ([]Table1Row, error) {
+// accounting every synthetic trace. Options.MaxRanks caps the grid.
+func Table1(opts Options) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, app := range workloads.All() {
 		for _, ranks := range app.RankCounts() {
+			if !opts.withinCap(ranks) {
+				continue
+			}
 			t, err := app.Generate(ranks)
 			if err != nil {
 				return nil, err
@@ -81,10 +84,13 @@ type Table2Row struct {
 }
 
 // Table2 regenerates the topology configuration table for the paper's
-// size ladder.
-func Table2() ([]Table2Row, error) {
+// size ladder. Options.MaxRanks caps the ladder.
+func Table2(opts Options) ([]Table2Row, error) {
 	var rows []Table2Row
 	for _, size := range topology.PaperSizes() {
+		if !opts.withinCap(size) {
+			continue
+		}
 		tor, ft, df, err := topology.Configs(size)
 		if err != nil {
 			return nil, err
@@ -99,6 +105,9 @@ func Table2() ([]Table2Row, error) {
 func Table3(opts Options) ([]*Analysis, error) {
 	var rows []*Analysis
 	for _, ref := range AllConfigurations() {
+		if !opts.withinCap(ref.Ranks) {
+			continue
+		}
 		a, err := AnalyzeApp(ref.App, ref.Ranks, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s/%d: %w", ref.App, ref.Ranks, err)
@@ -140,6 +149,9 @@ func Table4(opts Options) ([]Table4Row, error) {
 	q := opts.coverage()
 	var rows []Table4Row
 	for _, ref := range Table4Workloads {
+		if !opts.withinCap(ref.Ranks) {
+			continue
+		}
 		o := opts
 		o.SkipTopologies = true
 		a, err := AnalyzeApp(ref.App, ref.Ranks, o)
@@ -199,8 +211,15 @@ func Figure3(opts Options) ([]Figure3Curve, error) {
 	o.SkipTopologies = true
 	var out []Figure3Curve
 	for _, app := range workloads.All() {
-		counts := app.RankCounts()
-		ranks := counts[len(counts)-1]
+		ranks := 0
+		for _, r := range app.RankCounts() {
+			if opts.withinCap(r) {
+				ranks = r // largest configuration under the cap
+			}
+		}
+		if ranks == 0 {
+			continue
+		}
 		a, err := AnalyzeApp(app.Name, ranks, o)
 		if err != nil {
 			return nil, err
@@ -230,6 +249,9 @@ func Figure4(appName string, opts Options) ([]Figure3Curve, error) {
 	o.SkipTopologies = true
 	var out []Figure3Curve
 	for _, ranks := range app.RankCounts() {
+		if !opts.withinCap(ranks) {
+			continue
+		}
 		a, err := AnalyzeApp(appName, ranks, o)
 		if err != nil {
 			return nil, err
@@ -269,7 +291,7 @@ func Figure5(minRanks int, opts Options) ([]Figure5Series, error) {
 	o.SkipTopologies = true
 	var out []Figure5Series
 	for _, ref := range AllConfigurations() {
-		if ref.Ranks < minRanks {
+		if ref.Ranks < minRanks || !opts.withinCap(ref.Ranks) {
 			continue
 		}
 		a, err := AnalyzeApp(ref.App, ref.Ranks, o)

@@ -22,7 +22,7 @@ func TestAllConfigurations(t *testing.T) {
 }
 
 func TestTable1Regeneration(t *testing.T) {
-	rows, err := Table1()
+	rows, err := Table1(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestTable1Regeneration(t *testing.T) {
 }
 
 func TestTable2Regeneration(t *testing.T) {
-	rows, err := Table2()
+	rows, err := Table2(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

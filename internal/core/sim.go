@@ -41,6 +41,9 @@ func SimTable(refs []WorkloadRef, opts Options) ([]SimRow, error) {
 	}
 	var rows []SimRow
 	for _, ref := range refs {
+		if !opts.withinCap(ref.Ranks) {
+			continue
+		}
 		app, err := workloads.Lookup(ref.App)
 		if err != nil {
 			return nil, err

@@ -1,7 +1,12 @@
 // Package harness dispatches the named experiments of the study —
 // table1..table4, fig1, fig3..fig5, claims — to the core drivers and
-// report renderers. It backs cmd/locality and keeps the experiment
-// plumbing testable.
+// report renderers. It backs cmd/locality and the analysis service
+// (internal/service) and keeps the experiment plumbing testable.
+//
+// Every experiment is split into a collect step, which returns the typed
+// row slice (JSON-encodable as-is), and a render step, which lays the
+// text/CSV formatting over those rows. Collect is the programmatic
+// surface the service caches; Run composes both for the CLIs.
 package harness
 
 import (
@@ -31,59 +36,75 @@ type Params struct {
 	MinRanks int
 	// CSV selects CSV output instead of aligned text.
 	CSV bool
-	// Analysis options (coverage, packet size, bandwidth).
+	// JSON selects structured JSON output (the Result envelope) instead
+	// of text or CSV. It wins over CSV.
+	JSON bool
+	// Analysis options (coverage, packet size, bandwidth, rank cap).
 	Options core.Options
+}
+
+// Result is the typed outcome of one experiment: the name it ran under
+// and the row slice (or series/summary struct) the experiment produced.
+// It is the unit the analysis service computes, caches, and serves, and
+// what the -json CLI flags emit via report.JSON.
+type Result struct {
+	Experiment string `json:"experiment"`
+	Rows       any    `json:"rows"`
+}
+
+// Curve is the typed result of fig1: one labeled partner-volume series.
+type Curve struct {
+	Label  string    `json:"label"`
+	Shares []float64 `json:"shares"`
 }
 
 type runner struct {
 	description string
-	run         func(w io.Writer, p Params) error
+	// collect computes the typed rows; render lays text/CSV over them.
+	collect func(p Params) (any, error)
+	render  func(w io.Writer, rows any, p Params) error
 }
 
 var experiments = map[string]runner{
 	"table1": {
 		description: "workload overview: ranks, time, volume, p2p/coll split, throughput",
-		run: func(w io.Writer, p Params) error {
-			rows, err := core.Table1()
-			if err != nil {
-				return err
-			}
-			return report.Table1(w, rows, p.CSV)
+		collect: func(p Params) (any, error) {
+			return core.Table1(p.Options)
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.Table1(w, rows.([]core.Table1Row), p.CSV)
 		},
 	},
 	"table2": {
 		description: "topology configurations at every scale",
-		run: func(w io.Writer, p Params) error {
-			rows, err := core.Table2()
-			if err != nil {
-				return err
-			}
-			return report.Table2(w, rows, p.CSV)
+		collect: func(p Params) (any, error) {
+			return core.Table2(p.Options)
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.Table2(w, rows.([]core.Table2Row), p.CSV)
 		},
 	},
 	"table3": {
 		description: "main characterization: MPI-level metrics and all three topologies",
-		run: func(w io.Writer, p Params) error {
-			rows, err := core.Table3(p.Options)
-			if err != nil {
-				return err
-			}
-			return report.Table3(w, rows, p.CSV)
+		collect: func(p Params) (any, error) {
+			return core.Table3(p.Options)
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.Table3(w, rows.([]*core.Analysis), p.CSV)
 		},
 	},
 	"table4": {
 		description: "rank locality under 1D/2D/3D foldings",
-		run: func(w io.Writer, p Params) error {
-			rows, err := core.Table4(p.Options)
-			if err != nil {
-				return err
-			}
-			return report.Table4(w, rows, p.CSV)
+		collect: func(p Params) (any, error) {
+			return core.Table4(p.Options)
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.Table4(w, rows.([]core.Table4Row), p.CSV)
 		},
 	},
 	"fig1": {
 		description: "sorted partner-volume curve of one rank (default LULESH/64 rank 0)",
-		run: func(w io.Writer, p Params) error {
+		collect: func(p Params) (any, error) {
 			app := p.App
 			if app == "" {
 				app = "LULESH"
@@ -92,80 +113,86 @@ var experiments = map[string]runner{
 			if ranks == 0 {
 				ranks = 64
 			}
-			curve, err := core.Figure1(app, ranks, p.Rank, p.Options)
+			shares, err := core.Figure1(app, ranks, p.Rank, p.Options)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			label := fmt.Sprintf("%s/%d rank %d bytes", app, ranks, p.Rank)
-			return report.Curve(w, label, curve, p.CSV)
+			return Curve{Label: label, Shares: shares}, nil
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			c := rows.(Curve)
+			return report.Curve(w, c.Label, c.Shares, p.CSV)
 		},
 	},
 	"fig3": {
 		description: "cumulative selectivity trends for all workloads",
-		run: func(w io.Writer, p Params) error {
-			curves, err := core.Figure3(p.Options)
-			if err != nil {
-				return err
-			}
-			return report.Figure3(w, curves, p.CSV)
+		collect: func(p Params) (any, error) {
+			return core.Figure3(p.Options)
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.Figure3(w, rows.([]core.Figure3Curve), p.CSV)
 		},
 	},
 	"fig4": {
 		description: "selectivity scaling across one app's configurations (default AMG)",
-		run: func(w io.Writer, p Params) error {
+		collect: func(p Params) (any, error) {
 			app := p.App
 			if app == "" {
 				app = "AMG"
 			}
-			curves, err := core.Figure4(app, p.Options)
-			if err != nil {
-				return err
-			}
-			return report.Figure3(w, curves, p.CSV)
+			return core.Figure4(app, p.Options)
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.Figure3(w, rows.([]core.Figure3Curve), p.CSV)
 		},
 	},
 	"fig5": {
 		description: "multi-core inter-node traffic scaling",
-		run: func(w io.Writer, p Params) error {
+		collect: func(p Params) (any, error) {
 			minRanks := p.MinRanks
 			if minRanks == 0 {
 				minRanks = 512
 			}
-			series, err := core.Figure5(minRanks, p.Options)
-			if err != nil {
-				return err
-			}
-			return report.Figure5(w, series, p.CSV)
+			return core.Figure5(minRanks, p.Options)
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.Figure5(w, rows.([]core.Figure5Series), p.CSV)
 		},
 	},
 	"sim": {
 		description: "EXTENSION: flow-level simulation (latency, queueing, slackness) per topology",
-		run: func(w io.Writer, p Params) error {
-			rows, err := core.SimTable(nil, p.Options)
-			if err != nil {
-				return err
-			}
-			return report.SimTable(w, rows, p.CSV)
+		collect: func(p Params) (any, error) {
+			return core.SimTable(nil, p.Options)
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.SimTable(w, rows.([]core.SimRow), p.CSV)
 		},
 	},
 	"score": {
 		description: "EXTENSION: quantitative reproduction scorecard vs the paper's anchor values",
-		run: func(w io.Writer, p Params) error {
+		collect: func(p Params) (any, error) {
 			rows, err := core.Table3(p.Options)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			return report.Scorecard(w, core.Scorecard(rows), p.CSV)
+			return core.Scorecard(rows), nil
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.Scorecard(w, rows.([]core.ScoreRow), p.CSV)
 		},
 	},
 	"claims": {
 		description: "headline findings over the full configuration grid",
-		run: func(w io.Writer, p Params) error {
+		collect: func(p Params) (any, error) {
 			rows, err := core.Table3(p.Options)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			return report.Claims(w, core.SummarizeClaims(rows))
+			return core.SummarizeClaims(rows), nil
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.Claims(w, rows.(core.Claims))
 		},
 	},
 }
@@ -189,31 +216,61 @@ func Describe(name string) (string, error) {
 	return r.description, nil
 }
 
-// Run executes the named experiment, writing its table or series to w.
+// Collect computes the typed rows of the named experiment without
+// rendering them. This is the surface the analysis service caches.
+func Collect(p Params) (*Result, error) {
+	r, ok := experiments[p.Experiment]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (known: %v)", core.ErrNoSuchExperiment, p.Experiment, Experiments())
+	}
+	rows, err := r.collect(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Experiment: p.Experiment, Rows: rows}, nil
+}
+
+// Run executes the named experiment, writing its table or series to w as
+// aligned text, CSV (Params.CSV), or JSON (Params.JSON).
 func Run(w io.Writer, p Params) error {
 	r, ok := experiments[p.Experiment]
 	if !ok {
 		return fmt.Errorf("%w: %q (known: %v)", core.ErrNoSuchExperiment, p.Experiment, Experiments())
 	}
-	return r.run(w, p)
+	rows, err := r.collect(p)
+	if err != nil {
+		return err
+	}
+	if p.JSON {
+		return report.JSON(w, &Result{Experiment: p.Experiment, Rows: rows})
+	}
+	return r.render(w, rows, p)
 }
 
 // AnalyzeTraceFile analyzes a materialized trace and renders it as a
-// single Table 3 row.
+// single Table 3 row (or a one-row JSON Result with Params.JSON).
 func AnalyzeTraceFile(w io.Writer, t *trace.Trace, p Params) error {
 	a, err := core.AnalyzeTrace(t, p.Options)
 	if err != nil {
 		return err
 	}
+	if p.JSON {
+		a.Acc = nil
+		return report.JSON(w, &Result{Experiment: "trace", Rows: []*core.Analysis{a}})
+	}
 	return report.Table3(w, []*core.Analysis{a}, p.CSV)
 }
 
-// RunAll executes every experiment, writing <name>.txt (or .csv) files
-// into dir. Used by cmd/locality -all to regenerate the results tree in
-// one call. Slow experiments run once each; errors abort the sweep.
+// RunAll executes every experiment, writing <name>.txt (or .csv/.json)
+// files into dir. Used by cmd/locality -all to regenerate the results
+// tree in one call. Slow experiments run once each; errors abort the
+// sweep.
 func RunAll(dir string, p Params) error {
 	ext := ".txt"
-	if p.CSV {
+	switch {
+	case p.JSON:
+		ext = ".json"
+	case p.CSV:
 		ext = ".csv"
 	}
 	for _, name := range Experiments() {

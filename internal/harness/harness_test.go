@@ -2,13 +2,16 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
 	"netloc/internal/core"
+	"netloc/internal/report"
 	"netloc/internal/trace"
 )
 
@@ -161,5 +164,139 @@ func TestRunAllWritesEveryExperiment(t *testing.T) {
 func TestRunAllBadDirectory(t *testing.T) {
 	if err := RunAll("/nonexistent-dir-xyz", Params{Experiment: "table2"}); err == nil {
 		t.Fatal("bad directory accepted")
+	}
+}
+
+// TestUnknownExperimentErrorListsKnown pins the listing-style error: a
+// typo'd experiment name must produce a message that names the typo and
+// enumerates every valid experiment, for both Run and Collect.
+func TestUnknownExperimentErrorListsKnown(t *testing.T) {
+	for _, err := range []error{
+		Run(&bytes.Buffer{}, Params{Experiment: "table99"}),
+		func() error { _, err := Collect(Params{Experiment: "table99"}); return err }(),
+	} {
+		if !errors.Is(err, core.ErrNoSuchExperiment) {
+			t.Fatalf("err = %v, want ErrNoSuchExperiment", err)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `"table99"`) {
+			t.Errorf("error does not name the unknown experiment: %s", msg)
+		}
+		for _, name := range Experiments() {
+			if !strings.Contains(msg, name) {
+				t.Errorf("error listing missing %q: %s", name, msg)
+			}
+		}
+	}
+}
+
+// TestExperimentsSortedAndMatchDispatch verifies the public listing is
+// alphabetically sorted and in exact one-to-one correspondence with the
+// dispatch map.
+func TestExperimentsSortedAndMatchDispatch(t *testing.T) {
+	names := Experiments()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Experiments() not sorted: %v", names)
+	}
+	if len(names) != len(experiments) {
+		t.Fatalf("listing has %d names, dispatch map %d", len(names), len(experiments))
+	}
+	for _, name := range names {
+		r, ok := experiments[name]
+		if !ok {
+			t.Errorf("listed experiment %q not dispatchable", name)
+			continue
+		}
+		if r.description == "" || r.collect == nil || r.render == nil {
+			t.Errorf("experiment %q incompletely wired", name)
+		}
+	}
+}
+
+// TestEveryExperimentBothFormats runs every experiment with CSV on and
+// off (and as JSON) against a small rank cap, so the whole dispatch
+// table is exercised quickly in one test.
+func TestEveryExperimentBothFormats(t *testing.T) {
+	for _, name := range Experiments() {
+		for _, csv := range []bool{false, true} {
+			var buf bytes.Buffer
+			p := Params{Experiment: name, CSV: csv, Options: core.Options{MaxRanks: 64}}
+			if err := Run(&buf, p); err != nil {
+				t.Errorf("%s (csv=%v): %v", name, csv, err)
+				continue
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s (csv=%v): empty output", name, csv)
+			}
+		}
+		var buf bytes.Buffer
+		p := Params{Experiment: name, JSON: true, Options: core.Options{MaxRanks: 64}}
+		if err := Run(&buf, p); err != nil {
+			t.Errorf("%s (json): %v", name, err)
+			continue
+		}
+		var envelope struct {
+			Experiment string          `json:"experiment"`
+			Rows       json.RawMessage `json:"rows"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &envelope); err != nil {
+			t.Errorf("%s: invalid JSON: %v", name, err)
+			continue
+		}
+		if envelope.Experiment != name || len(envelope.Rows) == 0 {
+			t.Errorf("%s: envelope = %q with %d-byte rows", name, envelope.Experiment, len(envelope.Rows))
+		}
+	}
+}
+
+// TestCollectMatchesRun verifies Collect returns the same typed rows Run
+// renders: rendering Collect's rows through the JSON path must equal
+// Run's JSON output byte for byte.
+func TestCollectMatchesRun(t *testing.T) {
+	p := Params{Experiment: "table4", Options: core.Options{MaxRanks: 64}}
+	res, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := res.Rows.([]core.Table4Row)
+	if !ok || len(rows) == 0 {
+		t.Fatalf("rows = %T with %v", res.Rows, res.Rows)
+	}
+	fromCollect, err := report.JSONBytes(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	q := p
+	q.JSON = true
+	if err := Run(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromCollect, buf.Bytes()) {
+		t.Fatal("Collect + JSONBytes diverges from Run with Params.JSON")
+	}
+}
+
+// TestAnalyzeTraceFileJSON covers the JSON path of trace analysis.
+func TestAnalyzeTraceFileJSON(t *testing.T) {
+	tr := &trace.Trace{
+		Meta: trace.Meta{App: "custom", Ranks: 8, WallTime: 1},
+		Events: []trace.Event{
+			{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 5000},
+		},
+	}
+	var buf bytes.Buffer
+	if err := AnalyzeTraceFile(&buf, tr, Params{JSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Experiment string           `json:"experiment"`
+		Rows       []*core.Analysis `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Experiment != "trace" || len(envelope.Rows) != 1 || envelope.Rows[0].App != "custom" {
+		t.Fatalf("envelope = %+v", envelope)
 	}
 }

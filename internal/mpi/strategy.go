@@ -46,6 +46,21 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("strategy(%d)", uint8(s))
 }
 
+// ParseStrategy is the inverse of Strategy.String. The empty string
+// means the paper's direct translation. It backs the -strategy CLI flags
+// and the service's strategy query parameter.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "", "direct":
+		return StrategyDirect, nil
+	case "tree":
+		return StrategyTree, nil
+	case "ring":
+		return StrategyRing, nil
+	}
+	return 0, fmt.Errorf("mpi: unknown strategy %q (direct|tree|ring)", s)
+}
+
 // binomialChildren returns the children of rank r in a binomial tree
 // rooted at root over n ranks (ranks are rotated so the root is vertex 0).
 func binomialChildren(r, root, n int) []int {

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -73,6 +74,29 @@ func writeCSV(w io.Writer, header []string, rows [][]string) error {
 		}
 	}
 	return nil
+}
+
+// JSONBytes marshals a structured result the way every JSON surface of
+// the repo (the analysis service, the -json CLI flags) encodes it:
+// two-space indent, trailing newline. Keeping one marshaling point
+// guarantees the CLI and the service emit byte-identical documents for
+// the same rows.
+func JSONBytes(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// JSON writes JSONBytes(v) to w.
+func JSON(w io.Writer, v any) error {
+	b, err := JSONBytes(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
 }
 
 func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a bounded, mutex-guarded LRU over marshaled JSON results.
+// Keys are canonicalized request strings; values are the exact bytes
+// served to clients, so a hit costs one map lookup and no re-encoding.
+type lruCache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions atomic.Int64
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRUCache(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// Get returns the cached bytes for key and marks the entry recently used.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add inserts (or refreshes) an entry, evicting the least recently used
+// entry when the cache is full.
+func (c *lruCache) Add(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Evictions returns the total number of evicted entries.
+func (c *lruCache) Evictions() int64 {
+	return c.evictions.Load()
+}

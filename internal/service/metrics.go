@@ -1,0 +1,112 @@
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the upper bounds (in milliseconds) of the request
+// latency histogram, spanning cache hits (sub-millisecond) to cold
+// full-grid computations (tens of seconds).
+var latencyBucketsMs = []float64{
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters.
+type histogram struct {
+	counts  []atomic.Int64 // len(latencyBucketsMs)+1; last is +Inf
+	total   atomic.Int64
+	sumUsec atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBucketsMs)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumUsec.Add(d.Microseconds())
+}
+
+// snapshot renders the histogram as a JSON-encodable map with cumulative
+// bucket counts ("le_<bound>ms" keys), total count, and mean latency.
+func (h *histogram) snapshot() map[string]any {
+	buckets := map[string]int64{}
+	cum := int64(0)
+	for i, bound := range latencyBucketsMs {
+		cum += h.counts[i].Load()
+		buckets[fmt.Sprintf("le_%gms", bound)] = cum
+	}
+	total := h.total.Load()
+	out := map[string]any{
+		"count":   total,
+		"buckets": buckets,
+	}
+	if total > 0 {
+		out["mean_ms"] = float64(h.sumUsec.Load()) / float64(total) / 1000
+	}
+	return out
+}
+
+// endpointMetrics counts requests, errors, and latency of one endpoint.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	latency  *histogram
+}
+
+// metricsRegistry is the server's observability state: per-endpoint
+// request counters and latency histograms plus the cache and compute
+// counters. All fields are updated with atomics; the registry map itself
+// is immutable after construction.
+type metricsRegistry struct {
+	endpoints map[string]*endpointMetrics
+
+	inFlight     atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	computations atomic.Int64
+	deduped      atomic.Int64
+}
+
+func newMetricsRegistry(endpoints []string) *metricsRegistry {
+	m := &metricsRegistry{endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, ep := range endpoints {
+		m.endpoints[ep] = &endpointMetrics{latency: newHistogram()}
+	}
+	return m
+}
+
+// snapshot renders the whole registry as the expvar-style JSON document
+// served at /metrics.
+func (m *metricsRegistry) snapshot(cacheEntries int, cacheEvictions int64) map[string]any {
+	eps := map[string]any{}
+	for name, ep := range m.endpoints {
+		eps[name] = map[string]any{
+			"requests":   ep.requests.Load(),
+			"errors":     ep.errors.Load(),
+			"latency_ms": ep.latency.snapshot(),
+		}
+	}
+	return map[string]any{
+		"cache": map[string]any{
+			"hits":      m.cacheHits.Load(),
+			"misses":    m.cacheMisses.Load(),
+			"entries":   cacheEntries,
+			"evictions": cacheEvictions,
+		},
+		"compute": map[string]any{
+			"executed": m.computations.Load(),
+			"deduped":  m.deduped.Load(),
+		},
+		"inflight":  m.inFlight.Load(),
+		"endpoints": eps,
+	}
+}

@@ -1,0 +1,501 @@
+// Package service exposes the study's experiment grid, per-workload
+// analyses, topology inspection, and uploaded-trace analysis as a
+// long-running HTTP JSON API. Repeated queries over the (app × scale ×
+// topology × mapping) grid are served from a bounded LRU result cache,
+// concurrent identical requests are deduplicated through a singleflight
+// group so each result is computed once, and all computation runs inside
+// a worker pool bounded to the configured parallelism. Observability is
+// built in: per-endpoint request counters and latency histograms, cache
+// hit/miss counters, and an in-flight gauge are exported as expvar-style
+// JSON at /metrics. cmd/netlocd is the daemon wrapping this package.
+//
+// Endpoints:
+//
+//	GET  /healthz                   liveness probe
+//	GET  /metrics                   observability snapshot (JSON)
+//	GET  /v1/experiments            list experiments with descriptions
+//	GET  /v1/experiments/{name}     run one experiment (table1..4, fig1,
+//	                                fig3..5, sim, score, claims); query
+//	                                params: app, ranks, rank, minranks,
+//	                                coverage, strategy, maxranks
+//	GET  /v1/analyze                analyze one workload configuration;
+//	                                query params: app, ranks, topo,
+//	                                mapping, coverage, strategy
+//	GET  /v1/topologies             inspect the Table 2 configurations
+//	                                for a rank count; query param: ranks
+//	POST /v1/traces/analyze         analyze an uploaded binary .nlt trace
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"time"
+
+	"netloc/internal/core"
+	"netloc/internal/harness"
+	"netloc/internal/metrics"
+	"netloc/internal/mpi"
+	"netloc/internal/report"
+	"netloc/internal/topology"
+	"netloc/internal/trace"
+	"netloc/internal/workloads"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheEntries bounds the LRU result cache; 256 when zero.
+	CacheEntries int
+	// Workers bounds concurrent trace generation/simulation;
+	// GOMAXPROCS when zero.
+	Workers int
+	// MaxUploadBytes bounds POSTed trace bodies; 64 MiB when zero.
+	MaxUploadBytes int64
+	// Analysis supplies defaults for every analysis (coverage, packet
+	// size, bandwidth, rank cap). Query parameters override coverage,
+	// strategy, and the cap per request.
+	Analysis core.Options
+}
+
+// Server is the analysis service: an http.Handler with a result cache,
+// request deduplication, a bounded worker pool, and metrics.
+type Server struct {
+	opts    Options
+	mux     *http.ServeMux
+	cache   *lruCache
+	group   flightGroup
+	sem     chan struct{}
+	metrics *metricsRegistry
+}
+
+// endpointNames are the instrumentation keys of the metrics registry.
+var endpointNames = []string{
+	"healthz", "metrics", "experiments", "analyze", "topologies", "traces",
+}
+
+// New constructs a Server with the given options.
+func New(opts Options) *Server {
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 256
+	}
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxUploadBytes == 0 {
+		opts.MaxUploadBytes = 64 << 20
+	}
+	s := &Server{
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		cache:   newLRUCache(opts.CacheEntries),
+		sem:     make(chan struct{}, opts.Workers),
+		metrics: newMetricsRegistry(endpointNames),
+	}
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperimentList))
+	s.mux.HandleFunc("GET /v1/experiments/{name}", s.instrument("experiments", s.handleExperiment))
+	s.mux.HandleFunc("GET /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("GET /v1/topologies", s.instrument("topologies", s.handleTopologies))
+	s.mux.HandleFunc("POST /v1/traces/analyze", s.instrument("traces", s.handleTraceAnalyze))
+	return s
+}
+
+// Handler returns the service's http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Options returns the server's effective configuration, with zero-value
+// defaults (cache size, workers, upload cap) filled in.
+func (s *Server) Options() Options { return s.opts }
+
+// ServeHTTP implements http.Handler directly.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter records the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with the endpoint's request counter, error
+// counter, latency histogram, and the global in-flight gauge.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.endpoints[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		em.requests.Add(1)
+		if sw.status >= 400 {
+			em.errors.Add(1)
+		}
+		em.latency.observe(time.Since(start))
+	}
+}
+
+func writeJSONBytes(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := report.JSONBytes(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSONBytes(w, b)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := report.JSONBytes(map[string]string{"error": err.Error()})
+	w.Write(b)
+}
+
+// cached serves one canonicalized request: from the LRU on a hit,
+// otherwise through the singleflight group and the worker pool, caching
+// the marshaled bytes for the next identical request.
+func (s *Server) cached(key string, compute func() (any, error)) ([]byte, error) {
+	if b, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return b, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+	b, err, shared := s.group.Do(key, func() ([]byte, error) {
+		s.sem <- struct{}{} // bound concurrent computation
+		defer func() { <-s.sem }()
+		s.metrics.computations.Add(1)
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		b, err := report.JSONBytes(v)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Add(key, b)
+		return b, nil
+	})
+	if shared {
+		s.metrics.deduped.Add(1)
+	}
+	return b, err
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "experiments": len(harness.Experiments())})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.metrics.snapshot(s.cache.Len(), s.cache.Evictions()))
+}
+
+// ExperimentInfo is one row of the experiment listing.
+type ExperimentInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	var out []ExperimentInfo
+	for _, name := range harness.Experiments() {
+		desc, _ := harness.Describe(name)
+		out = append(out, ExperimentInfo{Name: name, Description: desc})
+	}
+	writeJSON(w, out)
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(q url.Values, name string, def int) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("service: bad %s %q: not an integer", name, v)
+	}
+	return n, nil
+}
+
+// queryFloat parses an optional float query parameter.
+func queryFloat(q url.Values, name string, def float64) (float64, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("service: bad %s %q: not a number", name, v)
+	}
+	return f, nil
+}
+
+// analysisOptions builds the per-request core.Options: the server's
+// defaults with coverage, strategy, and maxranks overridden from the
+// query. The returned values are canonicalized (defaults filled in) so
+// equivalent requests share one cache key.
+func (s *Server) analysisOptions(q url.Values) (core.Options, error) {
+	opts := s.opts.Analysis
+	cov, err := queryFloat(q, "coverage", opts.Coverage)
+	if err != nil {
+		return opts, err
+	}
+	if cov == 0 {
+		cov = metrics.DefaultCoverage
+	}
+	if cov <= 0 || cov > 1 {
+		return opts, fmt.Errorf("service: coverage %g out of range (0,1]", cov)
+	}
+	opts.Coverage = cov
+	strat, err := mpi.ParseStrategy(q.Get("strategy"))
+	if err != nil {
+		return opts, err
+	}
+	opts.Strategy = strat
+	maxRanks, err := queryInt(q, "maxranks", opts.MaxRanks)
+	if err != nil {
+		return opts, err
+	}
+	if maxRanks < 0 {
+		return opts, fmt.Errorf("service: maxranks %d is negative", maxRanks)
+	}
+	opts.MaxRanks = maxRanks
+	return opts, nil
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, err := harness.Describe(name); err != nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w (known: %v)", err, harness.Experiments()))
+		return
+	}
+	q := r.URL.Query()
+	opts, err := s.analysisOptions(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p := harness.Params{Experiment: name, App: q.Get("app"), Options: opts}
+	if p.Ranks, err = queryInt(q, "ranks", 0); err == nil {
+		if p.Rank, err = queryInt(q, "rank", 0); err == nil {
+			p.MinRanks, err = queryInt(q, "minranks", 0)
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := fmt.Sprintf("exp/%s?app=%s&coverage=%g&maxranks=%d&minranks=%d&rank=%d&ranks=%d&strategy=%s",
+		name, p.App, opts.Coverage, opts.MaxRanks, p.MinRanks, p.Rank, p.Ranks, opts.Strategy)
+	b, err := s.cached(key, func() (any, error) { return harness.Collect(p) })
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSONBytes(w, b)
+}
+
+// AnalyzeResult is the /v1/analyze response: the canonicalized request
+// plus the analysis (MPI-level metrics and the selected topology blocks).
+type AnalyzeResult struct {
+	App      string         `json:"app"`
+	Ranks    int            `json:"ranks"`
+	Topology string         `json:"topology"`
+	Mapping  string         `json:"mapping"`
+	Coverage float64        `json:"coverage"`
+	Analysis *core.Analysis `json:"analysis"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	app := q.Get("app")
+	if app == "" {
+		writeError(w, http.StatusBadRequest, errors.New("service: missing app parameter"))
+		return
+	}
+	if _, err := workloads.Lookup(app); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	ranks, err := queryInt(q, "ranks", 0)
+	if err != nil || ranks < 1 {
+		if err == nil {
+			err = fmt.Errorf("service: ranks %d out of range (need >= 1)", ranks)
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	topo := q.Get("topo")
+	switch topo {
+	case "":
+		topo = "all"
+	case "all", "torus", "fattree", "dragonfly":
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("service: unknown topo %q (all|torus|fattree|dragonfly)", topo))
+		return
+	}
+	mapping := q.Get("mapping")
+	if mapping == "" {
+		mapping = core.MappingConsecutive
+	}
+	if !knownMapping(mapping) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("service: unknown mapping %q (known: %v)", mapping, core.MappingNames()))
+		return
+	}
+	opts, err := s.analysisOptions(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := fmt.Sprintf("analyze?app=%s&coverage=%g&mapping=%s&ranks=%d&strategy=%s&topo=%s",
+		app, opts.Coverage, mapping, ranks, opts.Strategy, topo)
+	b, err := s.cached(key, func() (any, error) {
+		a, err := core.AnalyzeAppOn(app, ranks, topo, mapping, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &AnalyzeResult{
+			App: a.App, Ranks: a.Ranks, Topology: topo, Mapping: mapping,
+			Coverage: opts.Coverage, Analysis: a,
+		}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSONBytes(w, b)
+}
+
+func knownMapping(name string) bool {
+	for _, m := range core.MappingNames() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TopoInfo describes one built topology configuration.
+type TopoInfo struct {
+	Config        topology.Config `json:"config"`
+	Label         string          `json:"label"`
+	Nodes         int             `json:"nodes"`
+	Switches      int             `json:"switches"`
+	Links         int             `json:"links"`
+	TerminalLinks int             `json:"terminal_links"`
+	LocalLinks    int             `json:"local_links"`
+	GlobalLinks   int             `json:"global_links"`
+}
+
+// TopologiesResult is the /v1/topologies response: the three Table 2
+// configurations for a rank count, each built and measured.
+type TopologiesResult struct {
+	Ranks     int      `json:"ranks"`
+	Torus     TopoInfo `json:"torus"`
+	FatTree   TopoInfo `json:"fattree"`
+	Dragonfly TopoInfo `json:"dragonfly"`
+}
+
+func topoInfo(cfg topology.Config) (TopoInfo, error) {
+	t, err := cfg.Build()
+	if err != nil {
+		return TopoInfo{}, err
+	}
+	info := TopoInfo{
+		Config:   cfg,
+		Label:    cfg.String(),
+		Nodes:    t.Nodes(),
+		Switches: t.NumVertices() - t.Nodes(),
+		Links:    len(t.Links()),
+	}
+	for _, class := range t.LinkClasses() {
+		switch class {
+		case topology.ClassTerminal:
+			info.TerminalLinks++
+		case topology.ClassLocal:
+			info.LocalLinks++
+		case topology.ClassGlobal:
+			info.GlobalLinks++
+		}
+	}
+	return info, nil
+}
+
+func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
+	ranks, err := queryInt(r.URL.Query(), "ranks", 0)
+	if err != nil || ranks < 1 {
+		if err == nil {
+			err = fmt.Errorf("service: ranks %d out of range (need >= 1)", ranks)
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := fmt.Sprintf("topo?ranks=%d", ranks)
+	b, err := s.cached(key, func() (any, error) {
+		tor, ft, df, err := topology.Configs(ranks)
+		if err != nil {
+			return nil, err
+		}
+		out := TopologiesResult{Ranks: ranks}
+		if out.Torus, err = topoInfo(tor); err != nil {
+			return nil, err
+		}
+		if out.FatTree, err = topoInfo(ft); err != nil {
+			return nil, err
+		}
+		if out.Dragonfly, err = topoInfo(df); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSONBytes(w, b)
+}
+
+// handleTraceAnalyze analyzes a POSTed binary .nlt trace. Uploads are
+// not cached (bodies are arbitrary), but they do run inside the worker
+// pool so uploads cannot starve the experiment endpoints.
+func (s *Server) handleTraceAnalyze(w http.ResponseWriter, r *http.Request) {
+	opts, err := s.analysisOptions(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	defer body.Close()
+	t, err := trace.ReadTrace(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad trace body: %w", err))
+		return
+	}
+	s.sem <- struct{}{}
+	s.metrics.computations.Add(1)
+	a, err := core.AnalyzeTrace(t, opts)
+	<-s.sem
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	a.Acc = nil
+	writeJSON(w, &harness.Result{Experiment: "trace", Rows: []*core.Analysis{a}})
+}

@@ -1,0 +1,457 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netloc/internal/core"
+	"netloc/internal/harness"
+	"netloc/internal/report"
+	"netloc/internal/trace"
+)
+
+func newTestServer(t *testing.T, opts Options) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(opts).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// get fetches a path and returns the status code and body.
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+// getOK fetches a path and fails the test on a non-200 status.
+func getOK(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	status, body := get(t, ts, path)
+	if status != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, status, body)
+	}
+	return body
+}
+
+// metricsSnapshot fetches and decodes /metrics.
+type cacheCounters struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Entries   int64 `json:"entries"`
+	Evictions int64 `json:"evictions"`
+}
+
+type metricsDoc struct {
+	Cache   cacheCounters `json:"cache"`
+	Compute struct {
+		Executed int64 `json:"executed"`
+		Deduped  int64 `json:"deduped"`
+	} `json:"compute"`
+	InFlight  int64                      `json:"inflight"`
+	Endpoints map[string]json.RawMessage `json:"endpoints"`
+}
+
+func metricsSnapshot(t *testing.T, ts *httptest.Server) metricsDoc {
+	t.Helper()
+	var doc metricsDoc
+	if err := json.Unmarshal(getOK(t, ts, "/metrics"), &doc); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	return doc
+}
+
+func TestHealthzAndExperimentList(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	if body := getOK(t, ts, "/healthz"); !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz: %s", body)
+	}
+	var list []ExperimentInfo
+	if err := json.Unmarshal(getOK(t, ts, "/v1/experiments"), &list); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range list {
+		if e.Description == "" {
+			t.Errorf("experiment %q has no description", e.Name)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range harness.Experiments() {
+		if !names[want] {
+			t.Errorf("experiment %q missing from listing", want)
+		}
+	}
+}
+
+// TestExperimentJSONMatchesCSV is the JSON-fidelity acceptance test: the
+// rows served by /v1/experiments/table3, re-rendered through the CSV
+// renderer, must be byte-identical to what cmd/locality -csv produces
+// for the same parameters — proving both surfaces share one structured
+// encoding with no lossy marshaling in between.
+func TestExperimentJSONMatchesCSV(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	body := getOK(t, ts, "/v1/experiments/table3?maxranks=64")
+
+	var envelope struct {
+		Experiment string           `json:"experiment"`
+		Rows       []*core.Analysis `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Experiment != "table3" || len(envelope.Rows) == 0 {
+		t.Fatalf("envelope = %q with %d rows", envelope.Experiment, len(envelope.Rows))
+	}
+
+	var fromJSON bytes.Buffer
+	if err := report.Table3(&fromJSON, envelope.Rows, true); err != nil {
+		t.Fatal(err)
+	}
+	var fromCLI bytes.Buffer
+	err := harness.Run(&fromCLI, harness.Params{
+		Experiment: "table3", CSV: true, Options: core.Options{MaxRanks: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromJSON.Bytes(), fromCLI.Bytes()) {
+		t.Fatalf("service JSON rows diverge from CLI CSV:\n--- via JSON ---\n%s\n--- via CLI ---\n%s",
+			fromJSON.Bytes(), fromCLI.Bytes())
+	}
+}
+
+// TestCacheHitFasterAndCounted is the caching acceptance test: a
+// repeated identical request must be served from the cache (visible in
+// the /metrics counters) and at least 10x faster than the cold request.
+func TestCacheHitFasterAndCounted(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	const path = "/v1/experiments/table3?maxranks=100"
+
+	before := metricsSnapshot(t, ts)
+	coldStart := time.Now()
+	cold := getOK(t, ts, path)
+	coldDur := time.Since(coldStart)
+
+	warmStart := time.Now()
+	warm := getOK(t, ts, path)
+	warmDur := time.Since(warmStart)
+
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("cached response differs from cold response")
+	}
+	after := metricsSnapshot(t, ts)
+	if hits := after.Cache.Hits - before.Cache.Hits; hits < 1 {
+		t.Errorf("cache hits = %d, want >= 1", hits)
+	}
+	if misses := after.Cache.Misses - before.Cache.Misses; misses != 1 {
+		t.Errorf("cache misses = %d, want 1", misses)
+	}
+	if warmDur*10 > coldDur {
+		t.Errorf("cache hit not 10x faster: cold %v vs warm %v", coldDur, warmDur)
+	}
+}
+
+// TestConcurrentRequestsDeduplicated fires many parallel identical and
+// distinct requests (exercising the cache and singleflight paths under
+// -race) and verifies each distinct result was computed exactly once.
+func TestConcurrentRequestsDeduplicated(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	distinct := []string{
+		"/v1/topologies?ranks=8",
+		"/v1/topologies?ranks=27",
+		"/v1/topologies?ranks=64",
+	}
+	const identical = "/v1/experiments/table4?maxranks=64"
+	const parallelism = 8
+
+	var wg sync.WaitGroup
+	errs := make(chan error, parallelism*(len(distinct)+1))
+	for i := 0; i < parallelism; i++ {
+		for _, path := range append([]string{identical}, distinct...) {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, body)
+				}
+			}(path)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	doc := metricsSnapshot(t, ts)
+	wantComputed := int64(len(distinct) + 1)
+	if doc.Compute.Executed != wantComputed {
+		t.Errorf("computations = %d, want %d (one per distinct request)", doc.Compute.Executed, wantComputed)
+	}
+	if doc.Cache.Hits+doc.Compute.Deduped == 0 {
+		t.Error("expected some requests to be served from cache or deduplicated")
+	}
+	if doc.InFlight != 1 { // the /metrics request itself is in flight
+		t.Errorf("inflight = %d after quiescence, want 1", doc.InFlight)
+	}
+}
+
+// TestAnalyzeEndpoint checks the per-workload analysis agrees with a
+// direct core call for the same (app, ranks, topo, mapping) tuple.
+func TestAnalyzeEndpoint(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	body := getOK(t, ts, "/v1/analyze?app=LULESH&ranks=64&topo=torus&mapping=consecutive&coverage=0.9")
+	var got AnalyzeResult
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "LULESH" || got.Ranks != 64 || got.Topology != "torus" || got.Mapping != "consecutive" {
+		t.Fatalf("envelope = %+v", got)
+	}
+	if got.Analysis == nil || got.Analysis.Torus == nil {
+		t.Fatal("missing torus analysis")
+	}
+	if got.Analysis.FatTree != nil || got.Analysis.Dragonfly != nil {
+		t.Error("unselected topologies present")
+	}
+	want, err := core.AnalyzeAppOn("LULESH", 64, "torus", "consecutive", core.Options{Coverage: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Analysis.Torus.AvgHops != want.Torus.AvgHops ||
+		got.Analysis.Torus.PacketHops != want.Torus.PacketHops ||
+		got.Analysis.Selectivity != want.Selectivity {
+		t.Errorf("analysis diverges from direct core call:\n got %+v\nwant %+v",
+			got.Analysis.Torus, want.Torus)
+	}
+}
+
+func TestAnalyzeAllTopologiesAndMappings(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	body := getOK(t, ts, "/v1/analyze?app=LULESH&ranks=64")
+	var got AnalyzeResult
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Analysis.Torus == nil || got.Analysis.FatTree == nil || got.Analysis.Dragonfly == nil {
+		t.Fatal("default analyze should cover all three topologies")
+	}
+	// A refined mapping must not do worse than consecutive on packet hops.
+	body = getOK(t, ts, "/v1/analyze?app=LULESH&ranks=64&topo=torus&mapping=refined")
+	var refined AnalyzeResult
+	if err := json.Unmarshal(body, &refined); err != nil {
+		t.Fatal(err)
+	}
+	if refined.Analysis.Torus.PacketHops > got.Analysis.Torus.PacketHops {
+		t.Errorf("refined mapping worse than consecutive: %d > %d",
+			refined.Analysis.Torus.PacketHops, got.Analysis.Torus.PacketHops)
+	}
+}
+
+func TestTopologiesEndpoint(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	var got TopologiesResult
+	if err := json.Unmarshal(getOK(t, ts, "/v1/topologies?ranks=64"), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Torus.Label != "(4,4,4)" || got.Torus.Nodes != 64 {
+		t.Errorf("torus = %+v", got.Torus)
+	}
+	if got.FatTree.Switches == 0 || got.FatTree.TerminalLinks == 0 {
+		t.Errorf("fattree = %+v", got.FatTree)
+	}
+	if got.Dragonfly.GlobalLinks == 0 {
+		t.Errorf("dragonfly = %+v", got.Dragonfly)
+	}
+}
+
+func TestTraceUpload(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	tr := &trace.Trace{
+		Meta: trace.Meta{App: "uploaded", Ranks: 8, WallTime: 1},
+		Events: []trace.Event{
+			{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 5000},
+			{Rank: 3, Op: trace.OpSend, Peer: 7, Root: -1, Bytes: 100},
+		},
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/traces/analyze", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var envelope struct {
+		Experiment string           `json:"experiment"`
+		Rows       []*core.Analysis `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Experiment != "trace" || len(envelope.Rows) != 1 || envelope.Rows[0].App != "uploaded" {
+		t.Fatalf("envelope = %+v", envelope)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/traces/analyze", "application/octet-stream",
+		strings.NewReader("not a trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/v1/experiments/table99", http.StatusNotFound},
+		{"/v1/experiments/table2?maxranks=x", http.StatusBadRequest},
+		{"/v1/experiments/table2?coverage=2", http.StatusBadRequest},
+		{"/v1/experiments/table2?strategy=warp", http.StatusBadRequest},
+		{"/v1/analyze", http.StatusBadRequest},
+		{"/v1/analyze?app=NoSuchApp&ranks=64", http.StatusNotFound},
+		{"/v1/analyze?app=LULESH&ranks=0", http.StatusBadRequest},
+		{"/v1/analyze?app=LULESH&ranks=64&topo=hypercube", http.StatusBadRequest},
+		{"/v1/analyze?app=LULESH&ranks=64&mapping=psychic", http.StatusBadRequest},
+		{"/v1/topologies", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if status, body := get(t, ts, c.path); status != c.want {
+			t.Errorf("GET %s: status %d, want %d (%s)", c.path, status, c.want, body)
+		}
+	}
+	doc := metricsSnapshot(t, ts)
+	var exp struct {
+		Errors int64 `json:"errors"`
+	}
+	if err := json.Unmarshal(doc.Endpoints["experiments"], &exp); err != nil {
+		t.Fatal(err)
+	}
+	if exp.Errors < 4 {
+		t.Errorf("experiments endpoint errors = %d, want >= 4", exp.Errors)
+	}
+}
+
+func TestLRUCacheEvicts(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", []byte("1"))
+	c.Add("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes the oldest
+		t.Fatal("a missing")
+	}
+	c.Add("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if c.Len() != 2 || c.Evictions() != 1 {
+		t.Errorf("len = %d evictions = %d", c.Len(), c.Evictions())
+	}
+	c.Add("c", []byte("33")) // refresh existing key keeps len stable
+	if v, _ := c.Get("c"); string(v) != "33" {
+		t.Errorf("c = %q", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d after refresh", c.Len())
+	}
+}
+
+func TestSingleflightSharesResult(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	started := make(chan struct{})
+	executions := 0
+	var wg sync.WaitGroup
+	results := make([][]byte, 2)
+	shareds := make([]bool, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 1 {
+				<-started // ensure goroutine 0 is the leader
+			}
+			v, err, shared := g.Do("k", func() ([]byte, error) {
+				executions++
+				close(started)
+				<-release
+				return []byte("v"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], shareds[i] = v, shared
+		}(i)
+	}
+	go func() {
+		<-started
+		time.Sleep(10 * time.Millisecond) // let the follower block on the leader
+		close(release)
+	}()
+	wg.Wait()
+	if executions != 1 {
+		t.Errorf("executions = %d, want 1", executions)
+	}
+	if string(results[0]) != "v" || string(results[1]) != "v" {
+		t.Errorf("results = %q, %q", results[0], results[1])
+	}
+	if !shareds[0] && !shareds[1] {
+		t.Error("neither caller saw a shared result")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram()
+	h.observe(200 * time.Microsecond)
+	h.observe(3 * time.Millisecond)
+	h.observe(2 * time.Second)
+	snap := h.snapshot()
+	if snap["count"].(int64) != 3 {
+		t.Fatalf("count = %v", snap["count"])
+	}
+	buckets := snap["buckets"].(map[string]int64)
+	if buckets["le_0.25ms"] != 1 || buckets["le_5ms"] != 2 || buckets["le_2500ms"] != 3 {
+		t.Errorf("buckets = %v", buckets)
+	}
+}

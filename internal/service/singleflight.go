@@ -1,0 +1,46 @@
+package service
+
+import "sync"
+
+// flightGroup deduplicates concurrent identical computations: while one
+// goroutine computes the value for a key, later callers with the same
+// key block and share its result instead of recomputing. A minimal
+// in-tree take on the well-known singleflight pattern (no external
+// dependency), specialized to the []byte results the service caches.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val []byte
+	err error
+}
+
+// Do runs fn once per key among concurrent callers. It returns fn's
+// value and error, and whether the result was shared from another
+// caller's execution.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, c.err, false
+}

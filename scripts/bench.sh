@@ -1,0 +1,52 @@
+#!/bin/sh
+# Runs the key Benchmark* suites (simnet, netmodel, comm, and the
+# top-level headline benchmarks in bench_test.go) with -benchmem and
+# writes a machine-readable BENCH_<date>.json into the repo root,
+# seeding the performance trajectory across PRs.
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 1x: one iteration per
+#               benchmark, cheap enough for CI; use e.g. 2s for stable
+#               numbers)
+#   BENCH_OUT   output file (default BENCH_<UTC date>.json)
+set -e
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+DATE="$(date -u +%Y-%m-%d)"
+OUT="${BENCH_OUT:-BENCH_${DATE}.json}"
+PKGS="./internal/simnet ./internal/netmodel ./internal/comm"
+HEADLINE='^(BenchmarkTable1Overview|BenchmarkTable3Characterization|BenchmarkHeadlineClaims)$'
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+{
+    go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" $PKGS
+    go test -run='^$' -bench="$HEADLINE" -benchmem -benchtime="$BENCHTIME" .
+} | tee "$RAW"
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$DATE"
+    printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+    printf '  "benchtime": "%s",\n' "$BENCHTIME"
+    printf '  "benchmarks": [\n'
+    awk '
+        /^pkg: / { pkg = $2 }
+        /^Benchmark/ && / ns\/op/ {
+            ns = "null"; b = "null"; a = "null"
+            for (i = 1; i <= NF; i++) {
+                if ($i == "ns/op")     ns = $(i-1)
+                if ($i == "B/op")      b  = $(i-1)
+                if ($i == "allocs/op") a  = $(i-1)
+            }
+            printf "%s    {\"package\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, pkg, $1, $2, ns, b, a
+            sep = ",\n"
+        }
+        END { print "" }
+    ' "$RAW"
+    printf '  ]\n}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

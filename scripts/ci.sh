@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full CI gate: static checks, build, the race-enabled test suite (which
+# exercises the analysis service's concurrent cache/singleflight paths
+# via internal/service's parallel-request tests), and the example smoke
+# tests.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "=== go vet ==="
+go vet ./...
+
+echo "=== go build ==="
+go build ./...
+
+echo "=== go test -race ==="
+go test -race ./...
+
+echo "=== examples ==="
+sh scripts/run_examples.sh
+
+echo "ci: all green"
