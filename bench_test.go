@@ -173,6 +173,36 @@ func BenchmarkFigure5MultiCore(b *testing.B) {
 	}
 }
 
+// BenchmarkTable3Sequential and BenchmarkTable3Parallel pin the
+// parallel engine's speedup on the paper's main table: identical work,
+// Parallelism forced to 1 versus the full GOMAXPROCS worker pool. On a
+// single-CPU host the two converge (the engine degrades to the caller's
+// goroutine); with 4+ cores the parallel run should be at least 2x
+// faster while producing byte-identical output (see
+// TestHarnessJSONDeterministicUnderParallelism).
+func BenchmarkTable3Sequential(b *testing.B) {
+	benchTable3(b, 1)
+}
+
+func BenchmarkTable3Parallel(b *testing.B) {
+	benchTable3(b, 0) // 0 = GOMAXPROCS workers
+}
+
+func benchTable3(b *testing.B, parallelism int) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Table3(core.Options{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Table3(io.Discard, rows, false); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(rows)), "rows")
+		}
+	}
+}
+
 // BenchmarkHeadlineClaims recomputes only the claims summary (a cheap
 // derivation once Table 3 is computed; kept separate so the claims path is
 // benchmarked end to end).

@@ -19,6 +19,7 @@
 //	-rank int         source rank for fig1 (default 0)
 //	-minranks int     smallest configuration included in fig5 (default 512)
 //	-maxranks int     cap the configuration grid at this rank count (0 = no cap)
+//	-j int            worker goroutines for the analysis (0 = GOMAXPROCS, 1 = sequential)
 //	-coverage float   traffic-coverage threshold (default 0.9)
 //	-strategy string  collective expansion: direct (the paper's), tree, or ring
 //	-csv              emit CSV instead of aligned text
@@ -46,6 +47,7 @@ func main() {
 		rank     = flag.Int("rank", 0, "source rank for fig1")
 		minRanks = flag.Int("minranks", 0, "smallest configuration included in fig5")
 		maxRanks = flag.Int("maxranks", 0, "cap the configuration grid at this rank count (0 = no cap)")
+		par      = flag.Int("j", 0, "worker goroutines for the analysis (0 = GOMAXPROCS, 1 = sequential)")
 		coverage = flag.Float64("coverage", 0, "traffic-coverage threshold (default 0.9)")
 		csv      = flag.Bool("csv", false, "emit CSV")
 		jsonOut  = flag.Bool("json", false, "emit structured JSON")
@@ -76,7 +78,7 @@ func main() {
 		MinRanks:   *minRanks,
 		CSV:        *csv,
 		JSON:       *jsonOut,
-		Options:    core.Options{Coverage: *coverage, Strategy: strat, MaxRanks: *maxRanks},
+		Options:    core.Options{Coverage: *coverage, Strategy: strat, MaxRanks: *maxRanks, Parallelism: *par},
 	}
 	if *outdir != "" {
 		if err := harness.RunAll(*outdir, params); err != nil {

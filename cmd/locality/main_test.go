@@ -81,7 +81,7 @@ func TestDocCommentListsAllFlags(t *testing.T) {
 	header := string(src[:bytes.Index(src, []byte("package main"))])
 	for _, name := range []string{
 		"-exp", "-trace", "-all", "-app", "-ranks", "-rank", "-minranks",
-		"-maxranks", "-coverage", "-strategy", "-csv", "-json", "-list",
+		"-maxranks", "-j", "-coverage", "-strategy", "-csv", "-json", "-list",
 	} {
 		if !strings.Contains(header, name+" ") && !strings.Contains(header, name+"\n") {
 			t.Errorf("doc comment missing flag %s", name)

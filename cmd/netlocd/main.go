@@ -13,7 +13,9 @@
 //
 //	-addr string     listen address (default ":8537")
 //	-cache int       result-cache entries (default 256)
-//	-workers int     max concurrent computations (default GOMAXPROCS)
+//	-workers int     total compute-goroutine budget, shared between
+//	                 concurrent requests and each request's internal
+//	                 parallelism (default GOMAXPROCS)
 //	-coverage float  traffic-coverage threshold (default 0.9)
 //	-maxranks int    cap the configuration grid at this rank count (0 = no cap)
 package main
@@ -65,7 +67,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8537", "listen address")
 		cache    = flag.Int("cache", 0, "result-cache entries (default 256)")
-		workers  = flag.Int("workers", 0, "max concurrent computations (default GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "total compute-goroutine budget across and within requests (default GOMAXPROCS)")
 		coverage = flag.Float64("coverage", 0, "traffic-coverage threshold (default 0.9)")
 		maxRanks = flag.Int("maxranks", 0, "cap the configuration grid at this rank count (0 = no cap)")
 	)

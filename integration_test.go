@@ -362,3 +362,30 @@ func TestDimensionalityConsistentWithRankDistance(t *testing.T) {
 		}
 	}
 }
+
+// TestHarnessJSONDeterministicUnderParallelism runs experiments through
+// the full harness pipeline at Parallelism 1 and 8 and requires the JSON
+// outputs to be byte-identical — the engine's determinism contract,
+// observed at the outermost user-visible layer.
+func TestHarnessJSONDeterministicUnderParallelism(t *testing.T) {
+	for _, exp := range []string{"table1", "table3", "table4", "fig3"} {
+		render := func(parallelism int) []byte {
+			t.Helper()
+			var buf bytes.Buffer
+			err := harness.Run(&buf, harness.Params{
+				Experiment: exp,
+				JSON:       true,
+				Options:    core.Options{MaxRanks: 128, Parallelism: parallelism},
+			})
+			if err != nil {
+				t.Fatalf("%s (j=%d): %v", exp, parallelism, err)
+			}
+			return buf.Bytes()
+		}
+		seq := render(1)
+		par := render(8)
+		if !bytes.Equal(seq, par) {
+			t.Errorf("%s: JSON differs between Parallelism 1 and 8", exp)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"netloc/internal/mpi"
+	"netloc/internal/parallel"
 	"netloc/internal/trace"
 )
 
@@ -158,6 +159,46 @@ func (m *Matrix) BySource(src int) (dsts []int, vols []float64) {
 	return dsts, vols
 }
 
+// Merge adds every recorded entry of other — which must share the rank
+// space and packet size — into m. Entries, totals, and pair counts are
+// exact integer sums, so merging shard matrices reproduces the matrix a
+// single sequential pass over the same events would have built.
+func (m *Matrix) Merge(other *Matrix) error {
+	if other == nil {
+		return nil
+	}
+	if other.ranks != m.ranks {
+		return fmt.Errorf("comm: merge rank mismatch: %d vs %d", other.ranks, m.ranks)
+	}
+	if other.packetSize != m.packetSize {
+		return fmt.Errorf("comm: merge packet-size mismatch: %d vs %d", other.packetSize, m.packetSize)
+	}
+	for src, srow := range other.rows {
+		if len(srow) == 0 {
+			continue
+		}
+		row := m.rows[src]
+		if row == nil {
+			row = make(map[int]Entry, len(srow))
+			m.rows[src] = row
+		}
+		for dst, e := range srow {
+			cur, existed := row[dst]
+			if !existed {
+				m.pairs++
+			}
+			cur.Bytes += e.Bytes
+			cur.Messages += e.Messages
+			cur.Packets += e.Packets
+			row[dst] = cur
+		}
+	}
+	m.totalBytes += other.totalBytes
+	m.totalMsgs += other.totalMsgs
+	m.totalPkts += other.totalPkts
+	return nil
+}
+
 // Accumulated holds the two matrices of one trace plus accounting totals.
 type Accumulated struct {
 	Meta trace.Meta
@@ -205,6 +246,81 @@ func Accumulate(t *trace.Trace, opts AccumulateOptions) (*Accumulated, error) {
 		return nil, err
 	}
 	return acc, nil
+}
+
+// minShardEvents is the smallest event count worth sharding; below it
+// the goroutine and merge overhead exceeds the accumulation work.
+const minShardEvents = 2048
+
+// AccumulateParallel builds the same matrices as Accumulate but splits
+// the event stream into contiguous shards, accumulates each shard into
+// a private partial on the runner's workers, and merges the partials in
+// shard order. All accumulation is exact integer arithmetic, so the
+// result is identical to a sequential pass; short traces (or a
+// sequential runner) fall back to Accumulate directly.
+func AccumulateParallel(t *trace.Trace, opts AccumulateOptions, run parallel.Runner) (*Accumulated, error) {
+	shards := run.Workers()
+	if max := len(t.Events) / minShardEvents; shards > max {
+		shards = max
+	}
+	if shards <= 1 {
+		return Accumulate(t, opts)
+	}
+	world, err := mpi.World(t.Meta.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*Accumulated, shards)
+	per := (len(t.Events) + shards - 1) / shards
+	err = run.ForEachErr(shards, func(s int) error {
+		lo, hi := s*per, (s+1)*per
+		if hi > len(t.Events) {
+			hi = len(t.Events)
+		}
+		part, err := newAccumulated(t.Meta, opts)
+		if err != nil {
+			return err
+		}
+		var buf []mpi.Message
+		for i := lo; i < hi; i++ {
+			if err := part.addEvent(t.Events[i], world, &buf); err != nil {
+				return fmt.Errorf("comm: event %d: %w", i, err)
+			}
+		}
+		parts[s] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := parts[0]
+	for _, part := range parts[1:] {
+		if err := acc.merge(part); err != nil {
+			return nil, err
+		}
+	}
+	var buf []mpi.Message
+	if err := acc.flushCollectives(world, &buf); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// merge folds another shard's partial accumulation (same trace, same
+// options, collectives not yet flushed) into a.
+func (a *Accumulated) merge(o *Accumulated) error {
+	if err := a.P2P.Merge(o.P2P); err != nil {
+		return err
+	}
+	if err := a.Wire.Merge(o.Wire); err != nil {
+		return err
+	}
+	a.CallerP2PBytes += o.CallerP2PBytes
+	a.CallerCollBytes += o.CallerCollBytes
+	for k, n := range o.collCounts {
+		a.collCounts[k] += n
+	}
+	return nil
 }
 
 // AccumulateStream builds the matrices from a streaming trace reader,

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"netloc/internal/parallel"
 	"netloc/internal/trace"
 )
 
@@ -178,6 +179,112 @@ func TestAccumulateStreamMatchesAccumulate(t *testing.T) {
 		fromStream.P2P.TotalBytes() != direct.P2P.TotalBytes() ||
 		fromStream.Wire.Pairs() != direct.Wire.Pairs() {
 		t.Fatal("stream and direct accumulation differ")
+	}
+}
+
+// bigTrace builds a trace long enough to engage sharding in
+// AccumulateParallel (well past minShardEvents per shard), mixing p2p
+// sends with repeated collective rounds.
+func bigTrace(ranks, events int) *trace.Trace {
+	tr := &trace.Trace{Meta: trace.Meta{App: "big", Ranks: ranks, WallTime: 5}}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < events; i++ {
+		switch i % 5 {
+		case 4:
+			tr.Events = append(tr.Events, trace.Event{
+				Rank: rng.Intn(ranks), Op: trace.OpAllreduce, Peer: -1, Root: -1,
+				Bytes: uint64(64 + 64*rng.Intn(4)),
+			})
+		default:
+			src := rng.Intn(ranks)
+			dst := (src + 1 + rng.Intn(ranks-1)) % ranks
+			tr.Events = append(tr.Events, trace.Event{
+				Rank: src, Op: trace.OpSend, Peer: dst, Root: -1,
+				Bytes: uint64(1 + rng.Intn(10000)),
+			})
+		}
+	}
+	return tr
+}
+
+func matricesEqual(t *testing.T, name string, a, b *Matrix) {
+	t.Helper()
+	if a.Ranks() != b.Ranks() || a.Pairs() != b.Pairs() ||
+		a.TotalBytes() != b.TotalBytes() ||
+		a.TotalMessages() != b.TotalMessages() ||
+		a.TotalPackets() != b.TotalPackets() {
+		t.Fatalf("%s: totals differ", name)
+	}
+	got := map[Key]Entry{}
+	b.Each(func(k Key, e Entry) { got[k] = e })
+	a.Each(func(k Key, e Entry) {
+		if got[k] != e {
+			t.Fatalf("%s: entry %v differs: %v vs %v", name, k, e, got[k])
+		}
+	})
+}
+
+func TestAccumulateParallelMatchesSequential(t *testing.T) {
+	tr := bigTrace(32, 6*minShardEvents)
+	seq, err := Accumulate(tr, AccumulateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		par, err := AccumulateParallel(tr, AccumulateOptions{}, parallel.New(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		matricesEqual(t, "P2P", seq.P2P, par.P2P)
+		matricesEqual(t, "Wire", seq.Wire, par.Wire)
+		if par.CallerP2PBytes != seq.CallerP2PBytes || par.CallerCollBytes != seq.CallerCollBytes {
+			t.Fatalf("workers=%d: caller totals differ", workers)
+		}
+		if par.Meta != seq.Meta {
+			t.Fatalf("workers=%d: meta differs", workers)
+		}
+	}
+}
+
+func TestAccumulateParallelShortTraceFallsBack(t *testing.T) {
+	tr := testTrace() // far below minShardEvents
+	par, err := AccumulateParallel(tr, AccumulateOptions{}, parallel.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Accumulate(tr, AccumulateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matricesEqual(t, "Wire", seq.Wire, par.Wire)
+}
+
+func TestAccumulateParallelErrorMatchesSequential(t *testing.T) {
+	// A bad event must surface with its global index, identical to the
+	// sequential error, regardless of which shard hits it.
+	tr := bigTrace(16, 3*minShardEvents)
+	badIdx := len(tr.Events) / 2
+	tr.Events[badIdx] = trace.Event{Rank: 0, Op: trace.OpSend, Peer: 99, Root: -1, Bytes: 1}
+	_, seqErr := Accumulate(tr, AccumulateOptions{})
+	if seqErr == nil {
+		t.Fatal("bad event accepted sequentially")
+	}
+	_, parErr := AccumulateParallel(tr, AccumulateOptions{}, parallel.New(4))
+	if parErr == nil {
+		t.Fatal("bad event accepted in parallel")
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Fatalf("errors differ:\n seq: %v\n par: %v", seqErr, parErr)
+	}
+}
+
+func TestMatrixMergeValidation(t *testing.T) {
+	a := mustMatrix(t, 4, 0)
+	if err := a.Merge(mustMatrix(t, 5, 0)); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if err := a.Merge(mustMatrix(t, 4, 100)); err == nil {
+		t.Fatal("packet-size mismatch accepted")
 	}
 }
 

@@ -10,12 +10,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"netloc/internal/comm"
 	"netloc/internal/mapping"
 	"netloc/internal/metrics"
 	"netloc/internal/mpi"
 	"netloc/internal/netmodel"
+	"netloc/internal/parallel"
 	"netloc/internal/topology"
 	"netloc/internal/trace"
 	"netloc/internal/workloads"
@@ -44,6 +46,53 @@ type Options struct {
 	// configurations (and topology sizes) above it. Zero means no cap.
 	// Used by tests and the analysis service to bound run time.
 	MaxRanks int
+	// Parallelism caps the worker goroutines one analysis may use for
+	// the experiment-grid fan-out, the per-topology model runs, the
+	// per-rank metric loops, and sharded trace accumulation. Zero means
+	// GOMAXPROCS; 1 runs fully sequentially. Results are identical at
+	// every setting (all fan-out is index-addressed and reductions stay
+	// in index order), so Parallelism never affects cache keys.
+	Parallelism int
+	// Budget optionally shares one worker-token pool across concurrent
+	// analyses: the analysis service passes its request-admission
+	// budget so request-level and intra-request parallelism draw from
+	// the same pool instead of oversubscribing. Nil means a private
+	// budget per top-level analysis call.
+	Budget *parallel.Budget
+}
+
+// workers resolves the Parallelism knob (0 = GOMAXPROCS).
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// withEngine installs a private worker budget when none was supplied,
+// so the nested fan-out levels of one analysis (grid × topologies ×
+// per-rank loops) share a single token pool. Every public entry point
+// calls it; repeated application is a no-op.
+func (o Options) withEngine() Options {
+	if o.Budget == nil && o.workers() > 1 {
+		// The calling goroutine holds no token, so the extras' budget
+		// is one less than the worker cap.
+		o.Budget = parallel.NewBudget(o.workers() - 1)
+	}
+	return o
+}
+
+// runner returns the scheduler one fan-out level should use.
+func (o Options) runner() parallel.Runner {
+	if o.workers() <= 1 || o.Budget == nil {
+		return parallel.Seq()
+	}
+	return parallel.Shared(o.Budget, o.workers())
+}
+
+// engine returns the metrics engine bound to the options' runner.
+func (o Options) engine() metrics.Engine {
+	return metrics.Engine{Run: o.runner()}
 }
 
 // withinCap reports whether a rank count passes the MaxRanks cap.
@@ -61,12 +110,16 @@ func (o Options) coverage() float64 {
 // TopoResult holds the system-level metrics of one topology (one
 // topology-block of a Table 3 row).
 type TopoResult struct {
-	Config         topology.Config
-	PacketHops     uint64
-	Packets        uint64
-	AvgHops        float64
-	UtilizationPct float64
-	UsedLinks      int
+	Config     topology.Config
+	PacketHops uint64
+	Packets    uint64
+	AvgHops    float64
+	// UtilizationPct is meaningful only when UtilizationValid is set;
+	// a run without a wall time (eq. 5's denominator) reports the
+	// paper's N/A instead of a misleading 0.
+	UtilizationPct   float64
+	UtilizationValid bool
+	UsedLinks        int
 	// GlobalMsgShare is the fraction of messages crossing a global link
 	// (meaningful for the dragonfly and the fat-tree top stage).
 	GlobalMsgShare float64
@@ -105,9 +158,13 @@ type Analysis struct {
 	Acc *comm.Accumulated `json:"-"`
 }
 
-// AnalyzeTrace runs the full pipeline on a materialized trace.
+// AnalyzeTrace runs the full pipeline on a materialized trace. Long
+// event streams are accumulated in shards across the options' worker
+// budget and merged; the matrices are exact sums either way.
 func AnalyzeTrace(t *trace.Trace, opts Options) (*Analysis, error) {
-	acc, err := comm.Accumulate(t, comm.AccumulateOptions{PacketSize: opts.PacketSize, Strategy: opts.Strategy})
+	opts = opts.withEngine()
+	acc, err := comm.AccumulateParallel(t,
+		comm.AccumulateOptions{PacketSize: opts.PacketSize, Strategy: opts.Strategy}, opts.runner())
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +173,7 @@ func AnalyzeTrace(t *trace.Trace, opts Options) (*Analysis, error) {
 
 // AnalyzeAccumulated runs the pipeline on pre-accumulated matrices.
 func AnalyzeAccumulated(acc *comm.Accumulated, opts Options) (*Analysis, error) {
+	opts = opts.withEngine()
 	q := opts.coverage()
 	a := &Analysis{
 		App:      acc.Meta.App,
@@ -136,14 +194,15 @@ func AnalyzeAccumulated(acc *comm.Accumulated, opts Options) (*Analysis, error) 
 	if acc.P2P.TotalBytes() > 0 {
 		a.HasP2P = true
 		a.Peers, _ = metrics.Peers(acc.P2P)
+		eng := opts.engine()
 		var err error
-		if a.RankDistance, err = metrics.RankDistance(acc.P2P, q); err != nil {
+		if a.RankDistance, err = eng.RankDistance(acc.P2P, q); err != nil {
 			return nil, err
 		}
-		if a.RankLocality, err = metrics.RankLocality(acc.P2P, q); err != nil {
+		if a.RankLocality, err = eng.RankLocality(acc.P2P, q); err != nil {
 			return nil, err
 		}
-		if a.Selectivity, err = metrics.Selectivity(acc.P2P, q); err != nil {
+		if a.Selectivity, err = eng.Selectivity(acc.P2P, q); err != nil {
 			return nil, err
 		}
 	}
@@ -153,22 +212,52 @@ func AnalyzeAccumulated(acc *comm.Accumulated, opts Options) (*Analysis, error) 
 		if err != nil {
 			return nil, err
 		}
-		for _, cfg := range []topology.Config{torCfg, ftCfg, dfCfg} {
-			res, err := runTopology(acc, cfg, MappingConsecutive, opts)
+		cfgs := []topology.Config{torCfg, ftCfg, dfCfg}
+		results, err := runGrid(opts.runner(), len(cfgs), func(i int) (*TopoResult, error) {
+			res, err := runTopology(acc, cfgs[i], MappingConsecutive, opts)
 			if err != nil {
-				return nil, fmt.Errorf("core: %s on %s%s: %w", a.App, cfg.Kind, cfg, err)
+				return nil, fmt.Errorf("core: %s on %s%s: %w", a.App, cfgs[i].Kind, cfgs[i], err)
 			}
+			return res, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, cfg := range cfgs {
 			switch cfg.Kind {
 			case "torus":
-				a.Torus = res
+				a.Torus = results[i]
 			case "fattree":
-				a.FatTree = res
+				a.FatTree = results[i]
 			case "dragonfly":
-				a.Dragonfly = res
+				a.Dragonfly = results[i]
 			}
 		}
 	}
 	return a, nil
+}
+
+// runGrid evaluates fn for every index of an n-item grid on the given
+// runner. Result i always lands at index i (table order is preserved),
+// and when several items fail the lowest-index error is returned — the
+// same one the sequential loop would have reported first.
+func runGrid[T any](run parallel.Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n == 0 {
+		return nil, nil // keep the sequential loops' nil result (JSON null)
+	}
+	out := make([]T, n)
+	err := run.ForEachErr(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Named rank→node mapping strategies accepted by BuildMapping and
@@ -234,13 +323,14 @@ func runTopology(acc *comm.Accumulated, cfg topology.Config, mappingName string,
 		return nil, err
 	}
 	return &TopoResult{
-		Config:         cfg,
-		PacketHops:     res.PacketHops,
-		Packets:        res.Packets,
-		AvgHops:        res.AvgHops,
-		UtilizationPct: res.UtilizationPct,
-		UsedLinks:      res.UsedLinks,
-		GlobalMsgShare: res.GlobalMsgShare,
+		Config:           cfg,
+		PacketHops:       res.PacketHops,
+		Packets:          res.Packets,
+		AvgHops:          res.AvgHops,
+		UtilizationPct:   res.UtilizationPct,
+		UtilizationValid: res.UtilizationValid,
+		UsedLinks:        res.UsedLinks,
+		GlobalMsgShare:   res.GlobalMsgShare,
 	}, nil
 }
 
@@ -250,6 +340,7 @@ func runTopology(acc *comm.Accumulated, cfg topology.Config, mappingName string,
 // consecutive). It backs the service's /v1/analyze endpoint. The returned
 // Analysis carries only the selected topology block(s); Acc is released.
 func AnalyzeAppOn(name string, ranks int, topoKind, mappingName string, opts Options) (*Analysis, error) {
+	opts = opts.withEngine()
 	o := opts
 	o.SkipTopologies = true
 	a, err := AnalyzeApp(name, ranks, o)
@@ -260,8 +351,8 @@ func AnalyzeAppOn(name string, ranks int, topoKind, mappingName string, opts Opt
 	if topoKind != "" && topoKind != "all" {
 		kinds = []string{topoKind}
 	}
-	for _, kind := range kinds {
-		cfg, err := ConfigFor(kind, ranks)
+	results, err := runGrid(opts.runner(), len(kinds), func(i int) (*TopoResult, error) {
+		cfg, err := ConfigFor(kinds[i], ranks)
 		if err != nil {
 			return nil, err
 		}
@@ -269,13 +360,19 @@ func AnalyzeAppOn(name string, ranks int, topoKind, mappingName string, opts Opt
 		if err != nil {
 			return nil, fmt.Errorf("core: %s on %s%s: %w", name, cfg.Kind, cfg, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, kind := range kinds {
 		switch kind {
 		case "torus":
-			a.Torus = res
+			a.Torus = results[i]
 		case "fattree":
-			a.FatTree = res
+			a.FatTree = results[i]
 		case "dragonfly":
-			a.Dragonfly = res
+			a.Dragonfly = results[i]
 		}
 	}
 	a.Acc = nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"netloc/internal/trace"
@@ -194,5 +195,36 @@ func TestAnalysisConsistencyInvariants(t *testing.T) {
 		if a.Torus.Packets != a.FatTree.Packets || a.Torus.Packets != a.Dragonfly.Packets {
 			t.Errorf("%s: packet counts differ across topologies", ref.App)
 		}
+	}
+}
+
+// TestAnalyzeParallelMatchesSequential pins the engine's determinism
+// promise at the analysis level: the full Analysis — matrices, metrics,
+// topology results — is identical whatever Parallelism is set to.
+func TestAnalyzeParallelMatchesSequential(t *testing.T) {
+	for app, ranks := range map[string]int{"LULESH": 64, "AMG": 216} {
+		seq := analyze(t, app, ranks, Options{Parallelism: 1})
+		for _, workers := range []int{2, 8} {
+			par := analyze(t, app, ranks, Options{Parallelism: workers})
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("%s: analysis differs between Parallelism 1 and %d", app, workers)
+			}
+		}
+	}
+}
+
+// TestExperimentsParallelMatchSequential does the same for the
+// experiment-grid fan-out (Table 3 drives the widest grid).
+func TestExperimentsParallelMatchSequential(t *testing.T) {
+	seq, err := Table3(Options{Parallelism: 1, MaxRanks: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table3(Options{Parallelism: 8, MaxRanks: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("Table3 differs between Parallelism 1 and 8")
 	}
 }

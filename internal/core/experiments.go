@@ -41,38 +41,47 @@ type Table1Row struct {
 }
 
 // Table1 regenerates the workload-overview table by generating and
-// accounting every synthetic trace. Options.MaxRanks caps the grid.
+// accounting every synthetic trace. Options.MaxRanks caps the grid;
+// Options.Parallelism fans the configurations out over the worker
+// budget (rows keep table order).
 func Table1(opts Options) ([]Table1Row, error) {
-	var rows []Table1Row
+	opts = opts.withEngine()
+	type cfg struct {
+		app   *workloads.App
+		ranks int
+	}
+	var cfgs []cfg
 	for _, app := range workloads.All() {
 		for _, ranks := range app.RankCounts() {
-			if !opts.withinCap(ranks) {
-				continue
+			if opts.withinCap(ranks) {
+				cfgs = append(cfgs, cfg{app: app, ranks: ranks})
 			}
-			t, err := app.Generate(ranks)
-			if err != nil {
-				return nil, err
-			}
-			p2p, coll := t.TotalBytes()
-			total := float64(p2p + coll)
-			row := Table1Row{
-				App:   app.Name,
-				Star:  app.Star,
-				Ranks: ranks,
-				TimeS: t.Meta.WallTime,
-				VolMB: total / 1e6,
-			}
-			if total > 0 {
-				row.P2PPct = 100 * float64(p2p) / total
-				row.CollPct = 100 - row.P2PPct
-			}
-			if t.Meta.WallTime > 0 {
-				row.RateMBps = row.VolMB / t.Meta.WallTime
-			}
-			rows = append(rows, row)
 		}
 	}
-	return rows, nil
+	return runGrid(opts.runner(), len(cfgs), func(i int) (Table1Row, error) {
+		app, ranks := cfgs[i].app, cfgs[i].ranks
+		t, err := app.Generate(ranks)
+		if err != nil {
+			return Table1Row{}, err
+		}
+		p2p, coll := t.TotalBytes()
+		total := float64(p2p + coll)
+		row := Table1Row{
+			App:   app.Name,
+			Star:  app.Star,
+			Ranks: ranks,
+			TimeS: t.Meta.WallTime,
+			VolMB: total / 1e6,
+		}
+		if total > 0 {
+			row.P2PPct = 100 * float64(p2p) / total
+			row.CollPct = 100 - row.P2PPct
+		}
+		if t.Meta.WallTime > 0 {
+			row.RateMBps = row.VolMB / t.Meta.WallTime
+		}
+		return row, nil
+	})
 }
 
 // Table2Row is one row of the topology-configuration table.
@@ -101,21 +110,25 @@ func Table2(opts Options) ([]Table2Row, error) {
 }
 
 // Table3 runs the full characterization (MPI-level metrics plus all three
-// topologies) for every configuration.
+// topologies) for every configuration. The grid fans out over the
+// worker budget; rows stay in table order regardless of Parallelism.
 func Table3(opts Options) ([]*Analysis, error) {
-	var rows []*Analysis
+	opts = opts.withEngine()
+	var refs []WorkloadRef
 	for _, ref := range AllConfigurations() {
-		if !opts.withinCap(ref.Ranks) {
-			continue
+		if opts.withinCap(ref.Ranks) {
+			refs = append(refs, ref)
 		}
+	}
+	return runGrid(opts.runner(), len(refs), func(i int) (*Analysis, error) {
+		ref := refs[i]
 		a, err := AnalyzeApp(ref.App, ref.Ranks, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s/%d: %w", ref.App, ref.Ranks, err)
 		}
 		a.Acc = nil // release matrices; Table 3 only needs the scalars
-		rows = append(rows, a)
-	}
-	return rows, nil
+		return a, nil
+	})
 }
 
 // Table4Workloads lists the configurations of the dimensionality study.
@@ -144,41 +157,47 @@ type Table4Row struct {
 	Grid3D []int
 }
 
-// Table4 regenerates the dimensionality study.
+// Table4 regenerates the dimensionality study. Configurations fan out
+// over the worker budget; within one configuration the candidate-grid
+// sweep of each folding is parallelized too.
 func Table4(opts Options) ([]Table4Row, error) {
+	opts = opts.withEngine()
 	q := opts.coverage()
-	var rows []Table4Row
+	var refs []WorkloadRef
 	for _, ref := range Table4Workloads {
-		if !opts.withinCap(ref.Ranks) {
-			continue
+		if opts.withinCap(ref.Ranks) {
+			refs = append(refs, ref)
 		}
+	}
+	eng := opts.engine()
+	return runGrid(opts.runner(), len(refs), func(i int) (Table4Row, error) {
+		ref := refs[i]
 		o := opts
 		o.SkipTopologies = true
 		a, err := AnalyzeApp(ref.App, ref.Ranks, o)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		if !a.HasP2P {
-			return nil, fmt.Errorf("core: %s/%d has no p2p traffic for Table 4", ref.App, ref.Ranks)
+			return Table4Row{}, fmt.Errorf("core: %s/%d has no p2p traffic for Table 4", ref.App, ref.Ranks)
 		}
 		row := Table4Row{App: ref.App, Ranks: ref.Ranks}
-		r1, err := metrics.DimLocality(a.Acc.P2P, 1, q)
+		r1, err := eng.DimLocality(a.Acc.P2P, 1, q)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
-		r2, err := metrics.DimLocality(a.Acc.P2P, 2, q)
+		r2, err := eng.DimLocality(a.Acc.P2P, 2, q)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
-		r3, err := metrics.DimLocality(a.Acc.P2P, 3, q)
+		r3, err := eng.DimLocality(a.Acc.P2P, 3, q)
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
 		row.Loc1D, row.Loc2D, row.Loc3D = r1.LocalityPct, r2.LocalityPct, r3.LocalityPct
 		row.Grid2D, row.Grid3D = r2.Grid, r3.Grid
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Figure1 returns the sorted partner-volume curve of one rank (the paper
@@ -206,10 +225,13 @@ type Figure3Curve struct {
 
 // Figure3 computes the selectivity trend curves for all workloads at their
 // largest configuration (the paper plots all workloads in one figure).
+// Workloads fan out over the worker budget; pure-collective workloads
+// are filtered in table order after the parallel phase.
 func Figure3(opts Options) ([]Figure3Curve, error) {
+	opts = opts.withEngine()
 	o := opts
 	o.SkipTopologies = true
-	var out []Figure3Curve
+	var refs []WorkloadRef
 	for _, app := range workloads.All() {
 		ranks := 0
 		for _, r := range app.RankCounts() {
@@ -217,23 +239,35 @@ func Figure3(opts Options) ([]Figure3Curve, error) {
 				ranks = r // largest configuration under the cap
 			}
 		}
-		if ranks == 0 {
-			continue
+		if ranks > 0 {
+			refs = append(refs, WorkloadRef{App: app.Name, Ranks: ranks})
 		}
-		a, err := AnalyzeApp(app.Name, ranks, o)
+	}
+	curves, err := runGrid(opts.runner(), len(refs), func(i int) (*Figure3Curve, error) {
+		ref := refs[i]
+		a, err := AnalyzeApp(ref.App, ref.Ranks, o)
 		if err != nil {
 			return nil, err
 		}
 		if !a.HasP2P {
-			continue // the paper's figure omits the pure-collective apps
+			return nil, nil // the paper's figure omits the pure-collective apps
 		}
 		shares, err := metrics.CumulativeCurve(a.Acc.P2P)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Figure3Curve{
-			App: app.Name, Ranks: ranks, Shares: shares, Selectivity: a.Selectivity,
-		})
+		return &Figure3Curve{
+			App: ref.App, Ranks: ref.Ranks, Shares: shares, Selectivity: a.Selectivity,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure3Curve
+	for _, c := range curves {
+		if c != nil {
+			out = append(out, *c)
+		}
 	}
 	return out, nil
 }
@@ -245,27 +279,40 @@ func Figure4(appName string, opts Options) ([]Figure3Curve, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts = opts.withEngine()
 	o := opts
 	o.SkipTopologies = true
-	var out []Figure3Curve
+	var rankList []int
 	for _, ranks := range app.RankCounts() {
-		if !opts.withinCap(ranks) {
-			continue
+		if opts.withinCap(ranks) {
+			rankList = append(rankList, ranks)
 		}
+	}
+	curves, err := runGrid(opts.runner(), len(rankList), func(i int) (*Figure3Curve, error) {
+		ranks := rankList[i]
 		a, err := AnalyzeApp(appName, ranks, o)
 		if err != nil {
 			return nil, err
 		}
 		if !a.HasP2P {
-			continue
+			return nil, nil
 		}
 		shares, err := metrics.CumulativeCurve(a.Acc.P2P)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Figure3Curve{
+		return &Figure3Curve{
 			App: appName, Ranks: ranks, Shares: shares, Selectivity: a.Selectivity,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Figure3Curve
+	for _, c := range curves {
+		if c != nil {
+			out = append(out, *c)
+		}
 	}
 	return out, nil
 }
@@ -287,27 +334,30 @@ type Figure5Series struct {
 // of cores would sophisticate scaling effects"). Traffic includes both
 // point-to-point and collective messages.
 func Figure5(minRanks int, opts Options) ([]Figure5Series, error) {
+	opts = opts.withEngine()
 	o := opts
 	o.SkipTopologies = true
-	var out []Figure5Series
+	var refs []WorkloadRef
 	for _, ref := range AllConfigurations() {
-		if ref.Ranks < minRanks || !opts.withinCap(ref.Ranks) {
-			continue
+		if ref.Ranks >= minRanks && opts.withinCap(ref.Ranks) {
+			refs = append(refs, ref)
 		}
+	}
+	return runGrid(opts.runner(), len(refs), func(i int) (Figure5Series, error) {
+		ref := refs[i]
 		a, err := AnalyzeApp(ref.App, ref.Ranks, o)
 		if err != nil {
-			return nil, err
+			return Figure5Series{}, err
 		}
 		shares, err := netmodel.MultiCoreSeries(a.Acc.Wire, Figure5CoreCounts)
 		if err != nil {
-			return nil, err
+			return Figure5Series{}, err
 		}
-		out = append(out, Figure5Series{
+		return Figure5Series{
 			App: ref.App, Ranks: ref.Ranks,
 			Cores: append([]int(nil), Figure5CoreCounts...), Shares: shares,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Claims summarizes the paper's headline findings over the full grid.

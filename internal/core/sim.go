@@ -34,16 +34,22 @@ var SimWorkloads = []WorkloadRef{
 }
 
 // SimTable simulates each configuration on its Table 2 torus, fat tree,
-// and dragonfly.
+// and dragonfly. Configurations fan out over the worker budget (each
+// one generates its trace once and replays it on the three topologies
+// in order); rows stay in table order regardless of Parallelism.
 func SimTable(refs []WorkloadRef, opts Options) ([]SimRow, error) {
+	opts = opts.withEngine()
 	if len(refs) == 0 {
 		refs = SimWorkloads
 	}
-	var rows []SimRow
+	var capped []WorkloadRef
 	for _, ref := range refs {
-		if !opts.withinCap(ref.Ranks) {
-			continue
+		if opts.withinCap(ref.Ranks) {
+			capped = append(capped, ref)
 		}
+	}
+	perRef, err := runGrid(opts.runner(), len(capped), func(i int) ([]SimRow, error) {
+		ref := capped[i]
 		app, err := workloads.Lookup(ref.App)
 		if err != nil {
 			return nil, err
@@ -56,6 +62,7 @@ func SimTable(refs []WorkloadRef, opts Options) ([]SimRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		rows := make([]SimRow, 0, 3)
 		for _, cfg := range []topology.Config{torCfg, ftCfg, dfCfg} {
 			topo, err := cfg.Build()
 			if err != nil {
@@ -76,6 +83,14 @@ func SimTable(refs []WorkloadRef, opts Options) ([]SimRow, error) {
 				App: ref.App, Ranks: ref.Ranks, Topology: topo.Kind(), Stats: *stats,
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SimRow
+	for _, r := range perRef {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }

@@ -35,6 +35,15 @@ const maxAspect = 8
 // aspect ratio at most maxAspect; if none exists (e.g. prime rank counts),
 // a near-balanced covering grid is used instead.
 func DimLocality(m *comm.Matrix, dims int, q float64) (DimResult, error) {
+	return Engine{}.DimLocality(m, dims, q)
+}
+
+// DimLocality sweeps the candidate grids on the engine's workers (each
+// grid's per-rank loop also runs chunked); the winning folding is
+// selected by a sequential scan in enumeration order, so any runner
+// reproduces the sequential result exactly. See the package-level
+// function.
+func (e Engine) DimLocality(m *comm.Matrix, dims int, q float64) (DimResult, error) {
 	if err := checkCoverage(q); err != nil {
 		return DimResult{}, err
 	}
@@ -46,18 +55,22 @@ func DimLocality(m *comm.Matrix, dims int, q float64) (DimResult, error) {
 	if len(grids) == 0 {
 		return DimResult{}, fmt.Errorf("metrics: no candidate %dD grids for %d ranks", dims, n)
 	}
+	dists := make([]float64, len(grids))
+	if err := e.Run.ForEachErr(len(grids), func(i int) error {
+		d, err := e.meanGridDistance(m, grids[i], q)
+		if err != nil {
+			return err
+		}
+		dists[i] = d
+		return nil
+	}); err != nil {
+		return DimResult{}, err
+	}
 	best := DimResult{Dims: dims, Distance: math.Inf(1)}
 	found := false
-	for _, g := range grids {
-		d, err := meanGridDistance(m, g, q)
-		if err == ErrNoTraffic {
-			return DimResult{}, err
-		}
-		if err != nil {
-			return DimResult{}, err
-		}
-		if d < best.Distance {
-			best.Distance = d
+	for i, g := range grids {
+		if dists[i] < best.Distance {
+			best.Distance = dists[i]
 			best.Grid = g
 			found = true
 		}
@@ -74,10 +87,11 @@ func DimLocality(m *comm.Matrix, dims int, q float64) (DimResult, error) {
 }
 
 // meanGridDistance computes the mean per-rank q-coverage Manhattan distance
-// under a row-major folding onto the grid.
-func meanGridDistance(m *comm.Matrix, grid []int, q float64) (float64, error) {
-	var sum float64
-	var cnt int
+// under a row-major folding onto the grid. The per-rank distances are
+// computed on the engine's workers into an index-addressed slice and
+// reduced sequentially in rank order, keeping the floating-point sum
+// identical to the sequential loop's.
+func (e Engine) meanGridDistance(m *comm.Matrix, grid []int, q float64) (float64, error) {
 	coords := func(id int) (c [3]int) {
 		for d := 0; d < len(grid); d++ {
 			c[d] = id % grid[d]
@@ -85,10 +99,12 @@ func meanGridDistance(m *comm.Matrix, grid []int, q float64) (float64, error) {
 		}
 		return c
 	}
-	for src := 0; src < m.Ranks(); src++ {
+	per := make([]float64, m.Ranks())
+	e.Run.ForEach(m.Ranks(), func(src int) {
+		per[src] = math.NaN()
 		dsts, vols := m.BySource(src)
 		if len(dsts) == 0 {
-			continue
+			return
 		}
 		sc := coords(src)
 		dists := make([]float64, len(dsts))
@@ -106,10 +122,17 @@ func meanGridDistance(m *comm.Matrix, grid []int, q float64) (float64, error) {
 		}
 		d90, err := stats.WeightedQuantileLE(dists, vols, q)
 		if err != nil {
-			continue
+			return
 		}
-		sum += d90
-		cnt++
+		per[src] = d90
+	})
+	var sum float64
+	var cnt int
+	for _, d := range per {
+		if !math.IsNaN(d) {
+			sum += d
+			cnt++
+		}
 	}
 	if cnt == 0 {
 		return 0, ErrNoTraffic

@@ -26,8 +26,20 @@ import (
 	"sort"
 
 	"netloc/internal/comm"
+	"netloc/internal/parallel"
 	"netloc/internal/stats"
 )
+
+// Engine computes the per-rank metric loops on a configurable parallel
+// runner. Per-rank results are written index-addressed and all
+// floating-point reductions run sequentially in rank order afterwards,
+// so an Engine with any runner produces bit-identical results to the
+// sequential loop. The zero value computes sequentially; the
+// package-level functions are shorthands for the zero Engine.
+type Engine struct {
+	// Run schedules the per-rank (and candidate-grid) loops.
+	Run parallel.Runner
+}
 
 // DefaultCoverage is the traffic share the paper's quantization rules use.
 const DefaultCoverage = 0.90
@@ -62,15 +74,21 @@ func Peers(m *comm.Matrix) (peak int, perRank []int) {
 // distance covering the q-share of that rank's p2p volume; ranks without
 // traffic get NaN.
 func PerRankDistance(m *comm.Matrix, q float64) ([]float64, error) {
+	return Engine{}.PerRankDistance(m, q)
+}
+
+// PerRankDistance is the per-rank distance loop, chunked over the
+// engine's workers; see the package-level function.
+func (e Engine) PerRankDistance(m *comm.Matrix, q float64) ([]float64, error) {
 	if err := checkCoverage(q); err != nil {
 		return nil, err
 	}
 	out := make([]float64, m.Ranks())
-	for src := 0; src < m.Ranks(); src++ {
+	e.Run.ForEach(m.Ranks(), func(src int) {
 		dsts, vols := m.BySource(src)
 		if len(dsts) == 0 {
 			out[src] = math.NaN()
-			continue
+			return
 		}
 		dists := make([]float64, len(dsts))
 		for i, d := range dsts {
@@ -79,17 +97,23 @@ func PerRankDistance(m *comm.Matrix, q float64) ([]float64, error) {
 		d90, err := stats.WeightedQuantileLE(dists, vols, q)
 		if err != nil {
 			out[src] = math.NaN()
-			continue
+			return
 		}
 		out[src] = d90
-	}
+	})
 	return out, nil
 }
 
 // RankDistance returns the mean (over communicating ranks) q-coverage rank
 // distance — the paper's "Rank Distance (90%)" column of Table 3.
 func RankDistance(m *comm.Matrix, q float64) (float64, error) {
-	per, err := PerRankDistance(m, q)
+	return Engine{}.RankDistance(m, q)
+}
+
+// RankDistance is the mean per-rank distance; see the package-level
+// function.
+func (e Engine) RankDistance(m *comm.Matrix, q float64) (float64, error) {
+	per, err := e.PerRankDistance(m, q)
 	if err != nil {
 		return 0, err
 	}
@@ -100,7 +124,13 @@ func RankDistance(m *comm.Matrix, q float64) (float64, error) {
 // A distance below one (only possible when a rank covers q of its traffic
 // at distance 0, which cannot happen for distinct ranks) is clamped to 1.
 func RankLocality(m *comm.Matrix, q float64) (float64, error) {
-	d, err := RankDistance(m, q)
+	return Engine{}.RankLocality(m, q)
+}
+
+// RankLocality is the reciprocal rank distance in percent; see the
+// package-level function.
+func (e Engine) RankLocality(m *comm.Matrix, q float64) (float64, error) {
+	d, err := e.RankDistance(m, q)
 	if err != nil {
 		return 0, err
 	}
@@ -114,21 +144,33 @@ func RankLocality(m *comm.Matrix, q float64) (float64, error) {
 // (sorted by volume, descending) cover the q-share of the rank's volume;
 // silent ranks get 0.
 func PerRankSelectivity(m *comm.Matrix, q float64) ([]int, error) {
+	return Engine{}.PerRankSelectivity(m, q)
+}
+
+// PerRankSelectivity is the per-rank partner-count loop, chunked over
+// the engine's workers; see the package-level function.
+func (e Engine) PerRankSelectivity(m *comm.Matrix, q float64) ([]int, error) {
 	if err := checkCoverage(q); err != nil {
 		return nil, err
 	}
 	out := make([]int, m.Ranks())
-	for src := 0; src < m.Ranks(); src++ {
+	e.Run.ForEach(m.Ranks(), func(src int) {
 		_, vols := m.BySource(src)
 		out[src] = stats.CoverageCount(vols, q)
-	}
+	})
 	return out, nil
 }
 
 // Selectivity returns the mean (over communicating ranks) q-coverage
 // partner count — the paper's "Selectivity (90%)" column of Table 3.
 func Selectivity(m *comm.Matrix, q float64) (float64, error) {
-	per, err := PerRankSelectivity(m, q)
+	return Engine{}.Selectivity(m, q)
+}
+
+// Selectivity is the mean per-rank partner count; see the package-level
+// function.
+func (e Engine) Selectivity(m *comm.Matrix, q float64) (float64, error) {
+	per, err := e.PerRankSelectivity(m, q)
 	if err != nil {
 		return 0, err
 	}

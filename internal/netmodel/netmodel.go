@@ -57,7 +57,15 @@ type Result struct {
 	LinkBytes []uint64 // per-link transported bytes, parallel to topo.Links()
 	UsedLinks int      // links with nonzero traffic
 	// UtilizationPct is eq. 5 in percent, with #links = UsedLinks.
+	// Check UtilizationValid before reading it: a zero value is
+	// ambiguous between an idle network and an incomputable ratio.
 	UtilizationPct float64
+	// UtilizationValid reports whether eq. 5 was computable: link
+	// tracking on, a positive wall time (the denominator), and at
+	// least one used link. When false, UtilizationPct (and the
+	// per-class breakdown) carry no information and renderers should
+	// print "n/a", matching the paper's N/A convention.
+	UtilizationValid bool
 	// GlobalMsgShare is the fraction of inter-node messages whose route
 	// crosses at least one global link (the dragonfly analysis of
 	// Section 6.2). Zero for topologies without global links.
@@ -165,6 +173,7 @@ func Run(m *comm.Matrix, topo topology.Topology, mp *mapping.Mapping, opts Optio
 			res.GlobalMsgShare = float64(globalMsgs) / float64(res.Messages)
 		}
 		if res.UsedLinks > 0 && opts.WallTime > 0 {
+			res.UtilizationValid = true
 			res.UtilizationPct = 100 * float64(res.InterNodeBytes) /
 				(bw * opts.WallTime * float64(res.UsedLinks))
 			res.ClassUtilizationPct = make(map[topology.LinkClass]float64, len(classBytes))

@@ -129,6 +129,9 @@ func TestRunUtilization(t *testing.T) {
 	if math.Abs(res.UtilizationPct-10) > 1e-9 {
 		t.Fatalf("Utilization = %v%%, want 10%%", res.UtilizationPct)
 	}
+	if !res.UtilizationValid {
+		t.Fatal("UtilizationValid = false for a computable ratio")
+	}
 }
 
 func TestRunUtilizationZeroWallTime(t *testing.T) {
@@ -140,6 +143,11 @@ func TestRunUtilizationZeroWallTime(t *testing.T) {
 	}
 	if res.UtilizationPct != 0 {
 		t.Fatalf("utilization with zero wall time = %v", res.UtilizationPct)
+	}
+	// A zero wall time makes eq. 5 incomputable; the flag must say so
+	// rather than leaving the zero indistinguishable from an idle network.
+	if res.UtilizationValid {
+		t.Fatal("UtilizationValid = true with zero wall time")
 	}
 }
 

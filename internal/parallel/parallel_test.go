@@ -1,0 +1,152 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			r := Runner{max: workers, budget: NewBudget(workers - 1)}
+			hits := make([]atomic.Int32, n)
+			r.ForEach(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSeqRunnerIsSequential(t *testing.T) {
+	r := Seq()
+	if r.Parallel() {
+		t.Fatal("Seq().Parallel() = true")
+	}
+	if w := r.Workers(); w != 1 {
+		t.Fatalf("Seq().Workers() = %d, want 1", w)
+	}
+	var order []int
+	r.ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestZeroValueRunnerIsSequential(t *testing.T) {
+	var r Runner
+	if r.Parallel() {
+		t.Fatal("zero Runner reports parallel")
+	}
+	sum := 0
+	r.ForEach(4, func(i int) { sum += i })
+	if sum != 6 {
+		t.Fatalf("sum = %d, want 6", sum)
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		r := Runner{max: workers, budget: NewBudget(workers - 1)}
+		err := r.ForEachErr(100, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("index %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 3" {
+			t.Fatalf("workers=%d: err = %v, want index 3", workers, err)
+		}
+	}
+}
+
+func TestForEachErrNilOnSuccess(t *testing.T) {
+	r := New(4)
+	if err := r.ForEachErr(50, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachErrStopsDispatchAfterFailure(t *testing.T) {
+	// After an error is observed, undispatched chunks must be skipped:
+	// with one worker the failure at index 0 must prevent visits far
+	// beyond the failing chunk.
+	r := Seq()
+	var visited atomic.Int32
+	err := r.ForEachErr(10000, func(i int) error {
+		visited.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if v := visited.Load(); v >= 10000 {
+		t.Fatalf("visited all %d indexes despite early error", v)
+	}
+}
+
+func TestBudgetCapsConcurrency(t *testing.T) {
+	const cap = 3
+	b := NewBudget(cap)
+	if b.Cap() != cap {
+		t.Fatalf("Cap() = %d, want %d", b.Cap(), cap)
+	}
+	// Runner extras draw from the budget; the caller participates for
+	// free, so at most cap+1 bodies run at once.
+	r := Shared(b, 16)
+	var cur, max atomic.Int32
+	var mu sync.Mutex
+	r.ForEach(200, func(int) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > max.Load() {
+			max.Store(c)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+	})
+	if m := max.Load(); m > cap+1 {
+		t.Fatalf("observed %d concurrent bodies, budget allows %d", m, cap+1)
+	}
+}
+
+func TestBudgetTryAcquireExhaustion(t *testing.T) {
+	b := NewBudget(2)
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Fatal("fresh budget refused tokens")
+	}
+	if b.TryAcquire() {
+		t.Fatal("exhausted budget granted a token")
+	}
+	b.Release()
+	if !b.TryAcquire() {
+		t.Fatal("released token not reusable")
+	}
+	b.Release()
+	b.Release()
+}
+
+func TestNewBudgetMinimumCapacity(t *testing.T) {
+	for _, c := range []int{-5, 0, 1} {
+		if got := NewBudget(c).Cap(); got < 1 {
+			t.Fatalf("NewBudget(%d).Cap() = %d, want >= 1", c, got)
+		}
+	}
+}
+
+func TestSharedNilBudgetFallsBackToSequential(t *testing.T) {
+	r := Shared(nil, 8)
+	if r.Parallel() {
+		t.Fatal("Shared(nil, 8) reports parallel")
+	}
+}

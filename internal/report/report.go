@@ -184,7 +184,11 @@ func Table3(w io.Writer, rows []*core.Analysis, csv bool) error {
 				row = append(row, "-", "-", "-")
 				continue
 			}
-			row = append(row, fg(tr.PacketHops), f2(tr.AvgHops), fu(tr.UtilizationPct))
+			util := "n/a" // incomputable (e.g. zero wall time), the paper's N/A
+			if tr.UtilizationValid {
+				util = fu(tr.UtilizationPct)
+			}
+			row = append(row, fg(tr.PacketHops), f2(tr.AvgHops), util)
 		}
 		out = append(out, row)
 	}

@@ -81,6 +81,39 @@ func TestTable3RenderingHandlesNA(t *testing.T) {
 	}
 }
 
+func TestTable3UtilizationValidity(t *testing.T) {
+	// A zero utilization with the valid flag set is a real measurement
+	// and must render as a number; without the flag (e.g. zero wall
+	// time) it must render "n/a" instead of a misleading 0.00.
+	rows := []*core.Analysis{
+		{
+			App: "Valid", Ranks: 8, HasP2P: true,
+			Torus: &core.TopoResult{PacketHops: 10, AvgHops: 1, UtilizationPct: 4.25, UtilizationValid: true},
+		},
+		{
+			App: "NoWallTime", Ranks: 8, HasP2P: true,
+			Torus: &core.TopoResult{PacketHops: 10, AvgHops: 1, UtilizationPct: 0, UtilizationValid: false},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Table3(&buf, rows, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4.25") {
+		t.Errorf("valid utilization not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("invalid utilization should render n/a:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	for _, line := range lines {
+		if strings.Contains(line, "NoWallTime") && !strings.Contains(line, "n/a") {
+			t.Errorf("NoWallTime row lacks n/a: %q", line)
+		}
+	}
+}
+
 func TestTable4Rendering(t *testing.T) {
 	rows := []core.Table4Row{
 		{App: "AMG", Ranks: 216, Loc1D: 3, Loc2D: 17, Loc3D: 100, Grid2D: []int{12, 18}, Grid3D: []int{6, 6, 6}},

@@ -39,6 +39,7 @@ import (
 	"netloc/internal/harness"
 	"netloc/internal/metrics"
 	"netloc/internal/mpi"
+	"netloc/internal/parallel"
 	"netloc/internal/report"
 	"netloc/internal/topology"
 	"netloc/internal/trace"
@@ -62,12 +63,20 @@ type Options struct {
 
 // Server is the analysis service: an http.Handler with a result cache,
 // request deduplication, a bounded worker pool, and metrics.
+//
+// The pool is one parallel.Budget of Workers tokens serving two levels
+// at once: each computing request holds one token (blocking admission,
+// as before), and the parallel analysis engine inside a request admits
+// extra workers only from the same budget's spare tokens
+// (non-blocking). An idle server therefore gives one request the full
+// budget, while a saturated server degrades each request to its single
+// admission token instead of oversubscribing CPU.
 type Server struct {
 	opts    Options
 	mux     *http.ServeMux
 	cache   *lruCache
 	group   flightGroup
-	sem     chan struct{}
+	budget  *parallel.Budget
 	metrics *metricsRegistry
 }
 
@@ -91,7 +100,7 @@ func New(opts Options) *Server {
 		opts:    opts,
 		mux:     http.NewServeMux(),
 		cache:   newLRUCache(opts.CacheEntries),
-		sem:     make(chan struct{}, opts.Workers),
+		budget:  parallel.NewBudget(opts.Workers),
 		metrics: newMetricsRegistry(endpointNames),
 	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -176,8 +185,8 @@ func (s *Server) cached(key string, compute func() (any, error)) ([]byte, error)
 	}
 	s.metrics.cacheMisses.Add(1)
 	b, err, shared := s.group.Do(key, func() ([]byte, error) {
-		s.sem <- struct{}{} // bound concurrent computation
-		defer func() { <-s.sem }()
+		s.budget.Acquire() // request-level admission: one token per computation
+		defer s.budget.Release()
 		s.metrics.computations.Add(1)
 		v, err := compute()
 		if err != nil {
@@ -232,6 +241,20 @@ func queryInt(q url.Values, name string, def int) (int, error) {
 	return n, nil
 }
 
+// queryNonNegInt parses an optional integer query parameter and rejects
+// negative values, which would otherwise flow into the harness as
+// nonsense grid bounds or rank indexes.
+func queryNonNegInt(q url.Values, name string, def int) (int, error) {
+	n, err := queryInt(q, name, def)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("service: %s %d is negative", name, n)
+	}
+	return n, nil
+}
+
 // queryFloat parses an optional float query parameter.
 func queryFloat(q url.Values, name string, def float64) (float64, error) {
 	v := q.Get(name)
@@ -267,14 +290,16 @@ func (s *Server) analysisOptions(q url.Values) (core.Options, error) {
 		return opts, err
 	}
 	opts.Strategy = strat
-	maxRanks, err := queryInt(q, "maxranks", opts.MaxRanks)
+	maxRanks, err := queryNonNegInt(q, "maxranks", opts.MaxRanks)
 	if err != nil {
 		return opts, err
 	}
-	if maxRanks < 0 {
-		return opts, fmt.Errorf("service: maxranks %d is negative", maxRanks)
-	}
 	opts.MaxRanks = maxRanks
+	// Intra-request parallelism draws from the same budget that admits
+	// requests, so the two levels compose instead of oversubscribing.
+	// Parallelism never changes results, so it stays out of cache keys.
+	opts.Parallelism = s.opts.Workers
+	opts.Budget = s.budget
 	return opts, nil
 }
 
@@ -291,9 +316,9 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p := harness.Params{Experiment: name, App: q.Get("app"), Options: opts}
-	if p.Ranks, err = queryInt(q, "ranks", 0); err == nil {
-		if p.Rank, err = queryInt(q, "rank", 0); err == nil {
-			p.MinRanks, err = queryInt(q, "minranks", 0)
+	if p.Ranks, err = queryNonNegInt(q, "ranks", 0); err == nil {
+		if p.Rank, err = queryNonNegInt(q, "rank", 0); err == nil {
+			p.MinRanks, err = queryNonNegInt(q, "minranks", 0)
 		}
 	}
 	if err != nil {
@@ -488,10 +513,10 @@ func (s *Server) handleTraceAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad trace body: %w", err))
 		return
 	}
-	s.sem <- struct{}{}
+	s.budget.Acquire()
 	s.metrics.computations.Add(1)
 	a, err := core.AnalyzeTrace(t, opts)
-	<-s.sem
+	s.budget.Release()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

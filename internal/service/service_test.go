@@ -345,6 +345,10 @@ func TestErrorStatuses(t *testing.T) {
 	}{
 		{"/v1/experiments/table99", http.StatusNotFound},
 		{"/v1/experiments/table2?maxranks=x", http.StatusBadRequest},
+		{"/v1/experiments/table2?maxranks=-1", http.StatusBadRequest},
+		{"/v1/experiments/fig1?ranks=-4", http.StatusBadRequest},
+		{"/v1/experiments/fig1?rank=-1", http.StatusBadRequest},
+		{"/v1/experiments/fig5?minranks=-512", http.StatusBadRequest},
 		{"/v1/experiments/table2?coverage=2", http.StatusBadRequest},
 		{"/v1/experiments/table2?strategy=warp", http.StatusBadRequest},
 		{"/v1/analyze", http.StatusBadRequest},
@@ -438,6 +442,74 @@ func TestSingleflightSharesResult(t *testing.T) {
 	}
 	if !shareds[0] && !shareds[1] {
 		t.Error("neither caller saw a shared result")
+	}
+}
+
+func TestSingleflightPanicReleasesWaiters(t *testing.T) {
+	// Regression: a panicking fn used to leave the in-flight entry
+	// registered with its WaitGroup never done, so every later caller
+	// for the key blocked forever. The panic must surface as an error
+	// and the key must become computable again.
+	var g flightGroup
+	v, err, shared := g.Do("k", func() ([]byte, error) {
+		panic("kaboom")
+	})
+	if v != nil || shared {
+		t.Fatalf("panicking call returned v=%q shared=%v", v, shared)
+	}
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic converted to error", err)
+	}
+
+	// The key must not be poisoned: a fresh call runs and succeeds
+	// without blocking.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err, _ := g.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+		if err != nil || string(v) != "ok" {
+			t.Errorf("post-panic Do = %q, %v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do blocked after a panicking computation")
+	}
+}
+
+func TestSingleflightPanicSharedByWaiters(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var followerErr error
+	go func() {
+		defer wg.Done()
+		<-started
+		_, followerErr, _ = g.Do("k", func() ([]byte, error) { return nil, nil })
+	}()
+	go func() {
+		<-started
+		time.Sleep(10 * time.Millisecond) // let the follower join the flight
+		close(release)
+	}()
+	_, leaderErr, _ := g.Do("k", func() ([]byte, error) {
+		close(started)
+		<-release
+		panic("shared kaboom")
+	})
+	wg.Wait()
+	if leaderErr == nil {
+		t.Fatal("leader saw no error")
+	}
+	// The follower either joined the panicking flight (shares its
+	// error) or arrived after cleanup and computed fresh (nil error);
+	// both are fine — what it must never do is hang, which wg.Wait
+	// above would have exposed as a test timeout.
+	if followerErr != nil && !strings.Contains(followerErr.Error(), "kaboom") {
+		t.Errorf("follower err = %v", followerErr)
 	}
 }
 

@@ -1,6 +1,9 @@
 package service
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // flightGroup deduplicates concurrent identical computations: while one
 // goroutine computes the value for a key, later callers with the same
@@ -36,11 +39,24 @@ func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
-	c.wg.Done()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
+	// Release waiters and drop the in-flight entry via defers: if fn
+	// panicked and either step were skipped, every later request for
+	// this key would block on wg.Wait forever, wedging the daemon on
+	// one poisoned computation. The panic is converted into an error
+	// that the panicking caller and all waiters share.
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	func() {
+		defer c.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				c.val, c.err = nil, fmt.Errorf("service: panic in computation: %v", r)
+			}
+		}()
+		c.val, c.err = fn()
+	}()
 	return c.val, c.err, false
 }

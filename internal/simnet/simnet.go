@@ -153,7 +153,14 @@ func Simulate(t *trace.Trace, topo topology.Topology, mp *mapping.Mapping, opts 
 	latencies := make([]float64, 0, len(msgs))
 	var idealSum float64
 	var delayed int
-	var firstRelease = msgs[0].release
+	// The makespan window opens at the first message that actually
+	// enters the network: intra-node messages are skipped below, so
+	// taking msgs[0].release would stretch the window — and skew
+	// MeasuredUtilizationPct — whenever the earliest releases stay
+	// on-node. msgs is sorted by release, so the first non-skipped
+	// message has the earliest network release.
+	var firstRelease float64
+	haveFirst := false
 	var lastArrival float64
 	var slacks []float64
 	var slackCovered int
@@ -170,6 +177,10 @@ func Simulate(t *trace.Trace, topo topology.Topology, mp *mapping.Mapping, opts 
 		}
 		if ns == nd {
 			continue // intra-node: no network involvement
+		}
+		if !haveFirst {
+			firstRelease = m.release
+			haveFirst = true
 		}
 		route, err = topo.Route(ns, nd, route)
 		if err != nil {

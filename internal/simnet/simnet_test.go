@@ -185,6 +185,42 @@ func TestSimulateIntraNodeSkipped(t *testing.T) {
 	}
 }
 
+func TestSimulateMakespanIgnoresIntraNodeHead(t *testing.T) {
+	// Regression: the makespan window used to open at msgs[0].release
+	// even when that message stayed on-node and never touched the
+	// network. Here an intra-node message at t=0 precedes the only wire
+	// message (released at t=10, 12 kB over one hop at 12 kB/s = 1 s).
+	// The window must be [10, 11] — makespan 1 s, one link busy the
+	// whole window, 100% utilization — not the skewed [0, 11].
+	tr := &trace.Trace{
+		Meta: trace.Meta{App: "s", Ranks: 8, WallTime: 100},
+		Events: []trace.Event{
+			{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 100, Start: 0, End: 1},
+			{Rank: 0, Op: trace.OpSend, Peer: 2, Root: -1, Bytes: 12000, Start: 10_000_000_000, End: 11},
+		},
+	}
+	mp, err := mapping.Blocked(8, 4, 2) // ranks 0,1 share node 0; rank 2 on node 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Simulate(tr, torus222(t), mp, Options{
+		BandwidthBytesPerSec: 12000,
+		PacketBytes:          4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 1 {
+		t.Fatalf("messages = %d, want 1 (intra-node skipped)", stats.Messages)
+	}
+	if math.Abs(stats.Makespan-1.0) > 1e-9 {
+		t.Fatalf("makespan = %v, want 1.0 (window must start at the first wire message)", stats.Makespan)
+	}
+	if math.Abs(stats.MeasuredUtilizationPct-100) > 1e-9 {
+		t.Fatalf("utilization = %v%%, want 100%%", stats.MeasuredUtilizationPct)
+	}
+}
+
 func TestSimulateValidation(t *testing.T) {
 	tr := &trace.Trace{
 		Meta: trace.Meta{App: "s", Ranks: 8, WallTime: 1},

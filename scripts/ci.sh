@@ -15,6 +15,15 @@ go build ./...
 echo "=== go test -race ==="
 go test -race ./...
 
+# The full suite above runs with the machine's GOMAXPROCS; on a 1-CPU
+# runner the parallel engine then degrades to sequential and its
+# goroutine interactions go unexercised. Re-run the engine-heavy tests
+# with explicit worker counts > 1 so the race detector always sees the
+# concurrent paths.
+echo "=== go test -race (parallel engine, forced workers) ==="
+go test -race -run 'Parallel|Determinism|Budget|ForEach|Singleflight' \
+    ./internal/parallel ./internal/comm ./internal/metrics ./internal/core ./internal/service .
+
 echo "=== examples ==="
 sh scripts/run_examples.sh
 
