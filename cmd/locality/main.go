@@ -24,6 +24,8 @@
 //	-strategy string  collective expansion: direct (the paper's), tree, or ring
 //	-csv              emit CSV instead of aligned text
 //	-json             emit structured JSON (the same encoding the service serves)
+//	-runtime          include the stage-span runtime block in -json output
+//	-v                print a per-stage timing summary to stderr after the run
 //	-list             list experiments
 package main
 
@@ -35,6 +37,7 @@ import (
 	"netloc/internal/core"
 	"netloc/internal/harness"
 	"netloc/internal/mpi"
+	"netloc/internal/obs"
 	"netloc/internal/trace"
 )
 
@@ -51,6 +54,8 @@ func main() {
 		coverage = flag.Float64("coverage", 0, "traffic-coverage threshold (default 0.9)")
 		csv      = flag.Bool("csv", false, "emit CSV")
 		jsonOut  = flag.Bool("json", false, "emit structured JSON")
+		runtime  = flag.Bool("runtime", false, "include the stage-span runtime block in -json output")
+		verbose  = flag.Bool("v", false, "print a per-stage timing summary to stderr after the run")
 		list     = flag.Bool("list", false, "list experiments")
 		outdir   = flag.String("all", "", "run every experiment, writing one file per experiment into this directory")
 		strategy = flag.String("strategy", "direct", "collective expansion: direct (the paper's), tree, or ring")
@@ -78,19 +83,37 @@ func main() {
 		MinRanks:   *minRanks,
 		CSV:        *csv,
 		JSON:       *jsonOut,
+		Runtime:    *runtime,
 		Options:    core.Options{Coverage: *coverage, Strategy: strat, MaxRanks: *maxRanks, Parallelism: *par},
 	}
-	if *outdir != "" {
-		if err := harness.RunAll(*outdir, params); err != nil {
-			fmt.Fprintln(os.Stderr, "locality:", err)
-			os.Exit(1)
+	var root *obs.Span
+	if *verbose {
+		label := params.Experiment
+		if *traceIn != "" {
+			label = "trace"
+		} else if *outdir != "" {
+			label = "all"
 		}
-		return
+		root = obs.NewTracer(1).StartRun(label)
+		params.Options.Span = root
 	}
-	if err := run(*traceIn, params); err != nil {
+	err = runTop(*traceIn, *outdir, params)
+	if root != nil {
+		root.End()
+		obs.WriteSummary(os.Stderr, root.Data())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "locality:", err)
 		os.Exit(1)
 	}
+}
+
+// runTop dispatches between the sweep (-all) and single-run modes.
+func runTop(traceIn, outdir string, params harness.Params) error {
+	if outdir != "" {
+		return harness.RunAll(outdir, params)
+	}
+	return run(traceIn, params)
 }
 
 func run(traceIn string, params harness.Params) error {

@@ -81,7 +81,8 @@ func TestDocCommentListsAllFlags(t *testing.T) {
 	header := string(src[:bytes.Index(src, []byte("package main"))])
 	for _, name := range []string{
 		"-exp", "-trace", "-all", "-app", "-ranks", "-rank", "-minranks",
-		"-maxranks", "-j", "-coverage", "-strategy", "-csv", "-json", "-list",
+		"-maxranks", "-j", "-coverage", "-strategy", "-csv", "-json",
+		"-runtime", "-v", "-list",
 	} {
 		if !strings.Contains(header, name+" ") && !strings.Contains(header, name+"\n") {
 			t.Errorf("doc comment missing flag %s", name)

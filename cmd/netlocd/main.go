@@ -18,6 +18,10 @@
 //	                 parallelism (default GOMAXPROCS)
 //	-coverage float  traffic-coverage threshold (default 0.9)
 //	-maxranks int    cap the configuration grid at this rank count (0 = no cap)
+//	-debug           also serve net/http/pprof profiles under /debug/pprof/
+//
+// Requests are logged to stderr as structured slog lines carrying the
+// request ID the service stamps into the X-Request-ID response header.
 package main
 
 import (
@@ -26,8 +30,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,16 +44,28 @@ import (
 )
 
 // run listens on addr and serves the analysis service until ctx is
-// cancelled, then shuts down gracefully. ready (if non-nil) is called
-// with the bound address and the effective (defaults-applied) options
-// once the listener is up.
-func run(ctx context.Context, addr string, opts service.Options, ready func(addr string, eff service.Options)) error {
+// cancelled, then shuts down gracefully. With debug set, the Go pprof
+// profiling endpoints are mounted under /debug/pprof/ next to the
+// service routes. ready (if non-nil) is called with the bound address
+// and the effective (defaults-applied) options once the listener is up.
+func run(ctx context.Context, addr string, opts service.Options, debug bool, ready func(addr string, eff service.Options)) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	svc := service.New(opts)
-	srv := &http.Server{Handler: svc.Handler()}
+	var handler http.Handler = svc.Handler()
+	if debug {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	if ready != nil {
 		ready(ln.Addr().String(), svc.Options())
 	}
@@ -70,6 +88,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "total compute-goroutine budget across and within requests (default GOMAXPROCS)")
 		coverage = flag.Float64("coverage", 0, "traffic-coverage threshold (default 0.9)")
 		maxRanks = flag.Int("maxranks", 0, "cap the configuration grid at this rank count (0 = no cap)")
+		debug    = flag.Bool("debug", false, "also serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -77,10 +96,11 @@ func main() {
 		CacheEntries: *cache,
 		Workers:      *workers,
 		Analysis:     core.Options{Coverage: *coverage, MaxRanks: *maxRanks},
+		Log:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := run(ctx, *addr, opts, func(bound string, eff service.Options) {
+	err := run(ctx, *addr, opts, *debug, func(bound string, eff service.Options) {
 		log.Printf("netlocd: serving on %s (cache=%d workers=%d)",
 			bound, eff.CacheEntries, eff.Workers)
 	})

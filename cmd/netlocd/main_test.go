@@ -23,7 +23,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	done := make(chan error, 1)
 	opts := service.Options{Analysis: core.Options{MaxRanks: 64}}
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", opts, func(addr string, eff service.Options) {
+		done <- run(ctx, "127.0.0.1:0", opts, true, func(addr string, eff service.Options) {
 			if eff.CacheEntries == 0 || eff.Workers == 0 {
 				t.Errorf("ready called with unresolved defaults: %+v", eff)
 			}
@@ -61,6 +61,10 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	if body := get("/v1/experiments/table2?maxranks=64"); !strings.Contains(body, `"table2"`) {
 		t.Errorf("table2 body: %s", body)
 	}
+	// debug=true mounts the pprof index next to the service routes.
+	if body := get("/debug/pprof/"); !strings.Contains(body, "pprof") {
+		t.Errorf("pprof index body: %.80s", body)
+	}
 
 	cancel()
 	select {
@@ -74,7 +78,7 @@ func TestRunServesAndShutsDown(t *testing.T) {
 }
 
 func TestRunBadAddress(t *testing.T) {
-	if err := run(context.Background(), "256.0.0.1:bad", service.Options{}, nil); err == nil {
+	if err := run(context.Background(), "256.0.0.1:bad", service.Options{}, false, nil); err == nil {
 		t.Fatal("bad address accepted")
 	}
 }

@@ -213,6 +213,12 @@ type Accumulated struct {
 	CallerP2PBytes  uint64
 	CallerCollBytes uint64
 
+	// Shards is how many contiguous event shards built the matrices: 1
+	// for a sequential pass, the shard count for AccumulateParallel.
+	// Purely observational — the matrices are exact integer sums either
+	// way.
+	Shards int
+
 	strategy   mpi.Strategy
 	collCounts map[collKey]uint64
 }
@@ -245,6 +251,7 @@ func Accumulate(t *trace.Trace, opts AccumulateOptions) (*Accumulated, error) {
 	if err := acc.flushCollectives(world, &buf); err != nil {
 		return nil, err
 	}
+	acc.Shards = 1
 	return acc, nil
 }
 
@@ -303,6 +310,7 @@ func AccumulateParallel(t *trace.Trace, opts AccumulateOptions, run parallel.Run
 	if err := acc.flushCollectives(world, &buf); err != nil {
 		return nil, err
 	}
+	acc.Shards = shards
 	return acc, nil
 }
 
@@ -341,6 +349,7 @@ func AccumulateStream(r *trace.Reader, opts AccumulateOptions) (*Accumulated, er
 			if err := acc.flushCollectives(world, &buf); err != nil {
 				return nil, err
 			}
+			acc.Shards = 1
 			return acc, nil
 		}
 		if err != nil {

@@ -366,3 +366,31 @@ func TestAccumulateDominanceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAccumulateReportsShards pins the observational shard count: a
+// sequential pass reports 1, a sharded pass reports how many partials
+// were merged.
+func TestAccumulateReportsShards(t *testing.T) {
+	tr := bigTrace(32, 6*minShardEvents)
+	seq, err := Accumulate(tr, AccumulateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Shards != 1 {
+		t.Errorf("sequential shards = %d, want 1", seq.Shards)
+	}
+	par, err := AccumulateParallel(tr, AccumulateOptions{}, parallel.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Shards < 2 {
+		t.Errorf("parallel shards = %d, want >= 2", par.Shards)
+	}
+	short, err := AccumulateParallel(testTrace(), AccumulateOptions{}, parallel.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Shards != 1 {
+		t.Errorf("short-trace fallback shards = %d, want 1", short.Shards)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"netloc/internal/metrics"
 	"netloc/internal/mpi"
 	"netloc/internal/netmodel"
+	"netloc/internal/obs"
 	"netloc/internal/parallel"
 	"netloc/internal/topology"
 	"netloc/internal/trace"
@@ -59,6 +60,13 @@ type Options struct {
 	// the same pool instead of oversubscribing. Nil means a private
 	// budget per top-level analysis call.
 	Budget *parallel.Budget
+	// Span optionally attaches an observability span: the pipeline
+	// records each stage (generate, accumulate, mpi_metrics, mapping,
+	// netmodel, simnet) as a child with its duration and work counts,
+	// and experiment drivers wrap each grid cell. Purely observational:
+	// results are byte-identical with or without a span (a nil span is
+	// a no-op).
+	Span *obs.Span
 }
 
 // workers resolves the Parallelism knob (0 = GOMAXPROCS).
@@ -163,11 +171,16 @@ type Analysis struct {
 // budget and merged; the matrices are exact sums either way.
 func AnalyzeTrace(t *trace.Trace, opts Options) (*Analysis, error) {
 	opts = opts.withEngine()
+	sp := opts.Span.Start("accumulate")
+	sp.Add("events", int64(len(t.Events)))
 	acc, err := comm.AccumulateParallel(t,
 		comm.AccumulateOptions{PacketSize: opts.PacketSize, Strategy: opts.Strategy}, opts.runner())
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.Add("shards", int64(acc.Shards))
+	sp.End()
 	return AnalyzeAccumulated(acc, opts)
 }
 
@@ -193,16 +206,20 @@ func AnalyzeAccumulated(acc *comm.Accumulated, opts Options) (*Analysis, error) 
 
 	if acc.P2P.TotalBytes() > 0 {
 		a.HasP2P = true
+		sp := opts.Span.Start("mpi_metrics")
 		a.Peers, _ = metrics.Peers(acc.P2P)
+		sp.Add("peers", int64(a.Peers))
 		eng := opts.engine()
 		var err error
-		if a.RankDistance, err = eng.RankDistance(acc.P2P, q); err != nil {
-			return nil, err
+		a.RankDistance, err = eng.RankDistance(acc.P2P, q)
+		if err == nil {
+			a.RankLocality, err = eng.RankLocality(acc.P2P, q)
 		}
-		if a.RankLocality, err = eng.RankLocality(acc.P2P, q); err != nil {
-			return nil, err
+		if err == nil {
+			a.Selectivity, err = eng.Selectivity(acc.P2P, q)
 		}
-		if a.Selectivity, err = eng.Selectivity(acc.P2P, q); err != nil {
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -214,7 +231,7 @@ func AnalyzeAccumulated(acc *comm.Accumulated, opts Options) (*Analysis, error) 
 		}
 		cfgs := []topology.Config{torCfg, ftCfg, dfCfg}
 		results, err := runGrid(opts.runner(), len(cfgs), func(i int) (*TopoResult, error) {
-			res, err := runTopology(acc, cfgs[i], MappingConsecutive, opts)
+			res, err := runTopology(acc, cfgs[i], MappingConsecutive, opts, opts.Span)
 			if err != nil {
 				return nil, fmt.Errorf("core: %s on %s%s: %w", a.App, cfgs[i].Kind, cfgs[i], err)
 			}
@@ -305,23 +322,34 @@ func ConfigFor(kind string, ranks int) (topology.Config, error) {
 	return topology.Config{}, fmt.Errorf("core: unknown topology %q (known: torus, fattree, dragonfly)", kind)
 }
 
-func runTopology(acc *comm.Accumulated, cfg topology.Config, mappingName string, opts Options) (*TopoResult, error) {
+func runTopology(acc *comm.Accumulated, cfg topology.Config, mappingName string, opts Options, parent *obs.Span) (*TopoResult, error) {
 	topo, err := cfg.Build()
 	if err != nil {
 		return nil, err
 	}
+	msp := parent.Start("mapping")
+	msp.SetLabel(mappingName)
 	mp, err := BuildMapping(mappingName, acc, topo)
+	msp.End()
 	if err != nil {
 		return nil, err
 	}
+	nsp := parent.Start("netmodel")
+	nsp.SetLabel(cfg.Kind)
 	res, err := netmodel.Run(acc.Wire, topo, mp, netmodel.Options{
 		BandwidthBytesPerSec: opts.BandwidthBytesPerSec,
 		WallTime:             acc.Meta.WallTime,
 		TrackLinks:           !opts.SkipLinkTracking,
 	})
 	if err != nil {
+		nsp.End()
 		return nil, err
 	}
+	nsp.Add("packets", int64(res.Packets))
+	nsp.Add("packet_hops", int64(res.PacketHops))
+	nsp.Add("used_links", int64(res.UsedLinks))
+	nsp.Add("max_link_bytes", int64(res.MaxLinkBytes))
+	nsp.End()
 	return &TopoResult{
 		Config:           cfg,
 		PacketHops:       res.PacketHops,
@@ -356,7 +384,7 @@ func AnalyzeAppOn(name string, ranks int, topoKind, mappingName string, opts Opt
 		if err != nil {
 			return nil, err
 		}
-		res, err := runTopology(a.Acc, cfg, mappingName, opts)
+		res, err := runTopology(a.Acc, cfg, mappingName, opts, opts.Span)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s on %s%s: %w", name, cfg.Kind, cfg, err)
 		}
@@ -386,10 +414,15 @@ func AnalyzeApp(name string, ranks int, opts Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := opts.Span.Start("generate")
+	sp.SetLabel(fmt.Sprintf("%s/%d", name, ranks))
 	t, err := app.Generate(ranks)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.Add("events", int64(len(t.Events)))
+	sp.End()
 	return AnalyzeTrace(t, opts)
 }
 

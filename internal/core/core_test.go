@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"netloc/internal/obs"
 	"netloc/internal/trace"
 )
 
@@ -206,6 +207,9 @@ func TestAnalyzeParallelMatchesSequential(t *testing.T) {
 		seq := analyze(t, app, ranks, Options{Parallelism: 1})
 		for _, workers := range []int{2, 8} {
 			par := analyze(t, app, ranks, Options{Parallelism: workers})
+			// Acc.Shards records how the accumulation was scheduled, so it
+			// is the one field allowed to vary with Parallelism.
+			seq.Acc.Shards, par.Acc.Shards = 0, 0
 			if !reflect.DeepEqual(seq, par) {
 				t.Fatalf("%s: analysis differs between Parallelism 1 and %d", app, workers)
 			}
@@ -226,5 +230,45 @@ func TestExperimentsParallelMatchSequential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatal("Table3 differs between Parallelism 1 and 8")
+	}
+}
+
+// TestAnalysisSpansRecordStages checks the pipeline's observability
+// contract: with a span attached, every stage is recorded with its work
+// counts, and the analysis result is identical to an uninstrumented run.
+func TestAnalysisSpansRecordStages(t *testing.T) {
+	tr := obs.NewTracer(1)
+	root := tr.StartRun("analysis")
+	instr := analyze(t, "LULESH", 64, Options{Parallelism: 2, Span: root})
+	root.End()
+	plain := analyze(t, "LULESH", 64, Options{Parallelism: 2})
+	instr.Acc.Shards, plain.Acc.Shards = 0, 0
+	if !reflect.DeepEqual(instr, plain) {
+		t.Fatal("attaching a span changed the analysis result")
+	}
+
+	counts := map[string]int64{}
+	stages := map[string]int{}
+	var walk func(d obs.SpanData)
+	walk = func(d obs.SpanData) {
+		stages[d.Name]++
+		for k, v := range d.Counts {
+			counts[k] += v
+		}
+		for _, c := range d.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Runs()[0].Root)
+	for _, stage := range []string{"generate", "accumulate", "mpi_metrics", "mapping", "netmodel"} {
+		if stages[stage] == 0 {
+			t.Errorf("stage %q not recorded (got %v)", stage, stages)
+		}
+	}
+	if stages["netmodel"] != 3 || stages["mapping"] != 3 {
+		t.Errorf("per-topology stages = %v, want 3 each", stages)
+	}
+	if counts["events"] == 0 || counts["packets"] == 0 || counts["shards"] == 0 {
+		t.Errorf("work counts missing: %v", counts)
 	}
 }

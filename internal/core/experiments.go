@@ -60,10 +60,17 @@ func Table1(opts Options) ([]Table1Row, error) {
 	}
 	return runGrid(opts.runner(), len(cfgs), func(i int) (Table1Row, error) {
 		app, ranks := cfgs[i].app, cfgs[i].ranks
+		cell := opts.Span.Start("cell")
+		cell.SetLabel(fmt.Sprintf("%s/%d", app.Name, ranks))
+		defer cell.End()
+		gsp := cell.Start("generate")
 		t, err := app.Generate(ranks)
 		if err != nil {
+			gsp.End()
 			return Table1Row{}, err
 		}
+		gsp.Add("events", int64(len(t.Events)))
+		gsp.End()
 		p2p, coll := t.TotalBytes()
 		total := float64(p2p + coll)
 		row := Table1Row{
@@ -122,7 +129,12 @@ func Table3(opts Options) ([]*Analysis, error) {
 	}
 	return runGrid(opts.runner(), len(refs), func(i int) (*Analysis, error) {
 		ref := refs[i]
-		a, err := AnalyzeApp(ref.App, ref.Ranks, opts)
+		cell := opts.Span.Start("cell")
+		cell.SetLabel(fmt.Sprintf("%s/%d", ref.App, ref.Ranks))
+		defer cell.End()
+		o := opts
+		o.Span = cell
+		a, err := AnalyzeApp(ref.App, ref.Ranks, o)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s/%d: %w", ref.App, ref.Ranks, err)
 		}
@@ -172,8 +184,12 @@ func Table4(opts Options) ([]Table4Row, error) {
 	eng := opts.engine()
 	return runGrid(opts.runner(), len(refs), func(i int) (Table4Row, error) {
 		ref := refs[i]
+		cell := opts.Span.Start("cell")
+		cell.SetLabel(fmt.Sprintf("%s/%d", ref.App, ref.Ranks))
+		defer cell.End()
 		o := opts
 		o.SkipTopologies = true
+		o.Span = cell
 		a, err := AnalyzeApp(ref.App, ref.Ranks, o)
 		if err != nil {
 			return Table4Row{}, err
@@ -245,7 +261,12 @@ func Figure3(opts Options) ([]Figure3Curve, error) {
 	}
 	curves, err := runGrid(opts.runner(), len(refs), func(i int) (*Figure3Curve, error) {
 		ref := refs[i]
-		a, err := AnalyzeApp(ref.App, ref.Ranks, o)
+		cell := opts.Span.Start("cell")
+		cell.SetLabel(fmt.Sprintf("%s/%d", ref.App, ref.Ranks))
+		defer cell.End()
+		oc := o
+		oc.Span = cell
+		a, err := AnalyzeApp(ref.App, ref.Ranks, oc)
 		if err != nil {
 			return nil, err
 		}
@@ -290,7 +311,12 @@ func Figure4(appName string, opts Options) ([]Figure3Curve, error) {
 	}
 	curves, err := runGrid(opts.runner(), len(rankList), func(i int) (*Figure3Curve, error) {
 		ranks := rankList[i]
-		a, err := AnalyzeApp(appName, ranks, o)
+		cell := opts.Span.Start("cell")
+		cell.SetLabel(fmt.Sprintf("%s/%d", appName, ranks))
+		defer cell.End()
+		oc := o
+		oc.Span = cell
+		a, err := AnalyzeApp(appName, ranks, oc)
 		if err != nil {
 			return nil, err
 		}
@@ -345,7 +371,12 @@ func Figure5(minRanks int, opts Options) ([]Figure5Series, error) {
 	}
 	return runGrid(opts.runner(), len(refs), func(i int) (Figure5Series, error) {
 		ref := refs[i]
-		a, err := AnalyzeApp(ref.App, ref.Ranks, o)
+		cell := opts.Span.Start("cell")
+		cell.SetLabel(fmt.Sprintf("%s/%d", ref.App, ref.Ranks))
+		defer cell.End()
+		oc := o
+		oc.Span = cell
+		a, err := AnalyzeApp(ref.App, ref.Ranks, oc)
 		if err != nil {
 			return Figure5Series{}, err
 		}

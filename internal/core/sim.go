@@ -50,14 +50,21 @@ func SimTable(refs []WorkloadRef, opts Options) ([]SimRow, error) {
 	}
 	perRef, err := runGrid(opts.runner(), len(capped), func(i int) ([]SimRow, error) {
 		ref := capped[i]
+		cell := opts.Span.Start("cell")
+		cell.SetLabel(fmt.Sprintf("%s/%d", ref.App, ref.Ranks))
+		defer cell.End()
 		app, err := workloads.Lookup(ref.App)
 		if err != nil {
 			return nil, err
 		}
+		gsp := cell.Start("generate")
 		tr, err := app.Generate(ref.Ranks)
 		if err != nil {
+			gsp.End()
 			return nil, err
 		}
+		gsp.Add("events", int64(len(tr.Events)))
+		gsp.End()
 		torCfg, ftCfg, dfCfg, err := topology.Configs(ref.Ranks)
 		if err != nil {
 			return nil, err
@@ -72,13 +79,19 @@ func SimTable(refs []WorkloadRef, opts Options) ([]SimRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			ssp := cell.Start("simnet")
+			ssp.SetLabel(topo.Kind())
 			stats, err := simnet.Simulate(tr, topo, mp, simnet.Options{
 				BandwidthBytesPerSec: opts.BandwidthBytesPerSec,
 				PacketBytes:          opts.PacketSize,
 			})
 			if err != nil {
+				ssp.End()
 				return nil, fmt.Errorf("core: sim %s/%d on %s: %w", ref.App, ref.Ranks, topo.Name(), err)
 			}
+			ssp.Add("sim_messages", int64(stats.Messages))
+			ssp.Add("sim_hops", int64(stats.HopsTraversed))
+			ssp.End()
 			rows = append(rows, SimRow{
 				App: ref.App, Ranks: ref.Ranks, Topology: topo.Kind(), Stats: *stats,
 			})

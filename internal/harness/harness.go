@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"netloc/internal/core"
+	"netloc/internal/obs"
 	"netloc/internal/report"
 	"netloc/internal/trace"
 )
@@ -39,6 +40,10 @@ type Params struct {
 	// JSON selects structured JSON output (the Result envelope) instead
 	// of text or CSV. It wins over CSV.
 	JSON bool
+	// Runtime includes a "runtime" block — the pipeline's stage-span
+	// tree with durations and work counts — in JSON results. Off by
+	// default so JSON output stays byte-identical run to run.
+	Runtime bool
 	// Analysis options (coverage, packet size, bandwidth, rank cap).
 	Options core.Options
 }
@@ -50,6 +55,10 @@ type Params struct {
 type Result struct {
 	Experiment string `json:"experiment"`
 	Rows       any    `json:"rows"`
+	// Runtime is the stage-span tree of the run that produced the rows,
+	// present only when Params.Runtime was set (timings are inherently
+	// nondeterministic, so the block is opt-in).
+	Runtime *obs.SpanData `json:"runtime,omitempty"`
 }
 
 // Curve is the typed result of fig1: one labeled partner-volume series.
@@ -223,11 +232,37 @@ func Collect(p Params) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (known: %v)", core.ErrNoSuchExperiment, p.Experiment, Experiments())
 	}
+	root := runtimeSpan(&p)
 	rows, err := r.collect(p)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Experiment: p.Experiment, Rows: rows}, nil
+	res := &Result{Experiment: p.Experiment, Rows: rows}
+	res.Runtime = runtimeBlock(p, root)
+	return res, nil
+}
+
+// runtimeSpan installs a private root span when Params.Runtime is set
+// and no span was supplied, so the collect step records its stages. It
+// returns the span to end afterwards (nil when the caller owns one).
+func runtimeSpan(p *Params) *obs.Span {
+	if !p.Runtime || p.Options.Span != nil {
+		return nil
+	}
+	root := obs.NewTracer(1).StartRun(p.Experiment)
+	p.Options.Span = root
+	return root
+}
+
+// runtimeBlock extracts the recorded span tree for the Result's runtime
+// block (nil unless Params.Runtime was set).
+func runtimeBlock(p Params, root *obs.Span) *obs.SpanData {
+	if !p.Runtime {
+		return nil
+	}
+	root.End() // nil-safe; a caller-supplied span stays open
+	d := p.Options.Span.Data()
+	return &d
 }
 
 // Run executes the named experiment, writing its table or series to w as
@@ -237,26 +272,30 @@ func Run(w io.Writer, p Params) error {
 	if !ok {
 		return fmt.Errorf("%w: %q (known: %v)", core.ErrNoSuchExperiment, p.Experiment, Experiments())
 	}
-	rows, err := r.collect(p)
+	res, err := Collect(p)
 	if err != nil {
 		return err
 	}
 	if p.JSON {
-		return report.JSON(w, &Result{Experiment: p.Experiment, Rows: rows})
+		return report.JSON(w, res)
 	}
-	return r.render(w, rows, p)
+	return r.render(w, res.Rows, p)
 }
 
 // AnalyzeTraceFile analyzes a materialized trace and renders it as a
 // single Table 3 row (or a one-row JSON Result with Params.JSON).
 func AnalyzeTraceFile(w io.Writer, t *trace.Trace, p Params) error {
+	p.Experiment = "trace"
+	root := runtimeSpan(&p)
 	a, err := core.AnalyzeTrace(t, p.Options)
 	if err != nil {
 		return err
 	}
 	if p.JSON {
 		a.Acc = nil
-		return report.JSON(w, &Result{Experiment: "trace", Rows: []*core.Analysis{a}})
+		res := &Result{Experiment: "trace", Rows: []*core.Analysis{a}}
+		res.Runtime = runtimeBlock(p, root)
+		return report.JSON(w, res)
 	}
 	return report.Table3(w, []*core.Analysis{a}, p.CSV)
 }

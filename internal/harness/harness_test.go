@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"netloc/internal/core"
+	"netloc/internal/obs"
 	"netloc/internal/report"
 	"netloc/internal/trace"
 )
@@ -274,6 +275,57 @@ func TestCollectMatchesRun(t *testing.T) {
 	}
 	if !bytes.Equal(fromCollect, buf.Bytes()) {
 		t.Fatal("Collect + JSONBytes diverges from Run with Params.JSON")
+	}
+}
+
+// TestReportJSONUnaffectedByInstrumentation pins the observability
+// layer's determinism promise at the report level: attaching a span
+// leaves the JSON output byte-identical, and the runtime block appears
+// only when Params.Runtime opts in.
+func TestReportJSONUnaffectedByInstrumentation(t *testing.T) {
+	base := Params{Experiment: "table3", JSON: true, Options: core.Options{MaxRanks: 64}}
+	var plain bytes.Buffer
+	if err := Run(&plain, base); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain.Bytes(), []byte(`"runtime"`)) {
+		t.Fatal("runtime block present without Params.Runtime")
+	}
+
+	tr := obs.NewTracer(1)
+	root := tr.StartRun("instrumented")
+	instrumented := base
+	instrumented.Options.Span = root
+	var instr bytes.Buffer
+	if err := Run(&instr, instrumented); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if !bytes.Equal(plain.Bytes(), instr.Bytes()) {
+		t.Fatal("attaching a span changed the report JSON")
+	}
+
+	withRuntime := base
+	withRuntime.Runtime = true
+	var rt bytes.Buffer
+	if err := Run(&rt, withRuntime); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(plain.Bytes(), rt.Bytes()) {
+		t.Fatal("Params.Runtime had no effect on the JSON output")
+	}
+	var envelope struct {
+		Experiment string        `json:"experiment"`
+		Runtime    *obs.SpanData `json:"runtime"`
+	}
+	if err := json.Unmarshal(rt.Bytes(), &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Runtime == nil || envelope.Runtime.Name != "table3" {
+		t.Fatalf("runtime block = %+v", envelope.Runtime)
+	}
+	if len(envelope.Runtime.Children) == 0 {
+		t.Fatal("runtime block records no stages")
 	}
 }
 

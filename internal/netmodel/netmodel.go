@@ -56,6 +56,12 @@ type Result struct {
 	// Link accounting (only populated when Options.TrackLinks).
 	LinkBytes []uint64 // per-link transported bytes, parallel to topo.Links()
 	UsedLinks int      // links with nonzero traffic
+	// MaxLinkBytes and MinUsedLinkBytes are the occupancy extremes over
+	// used links: the hottest link's volume and the coolest (nonzero)
+	// link's volume. Their ratio is a cheap imbalance indicator for the
+	// observability layer; both are zero when no link carried traffic.
+	MaxLinkBytes     uint64
+	MinUsedLinkBytes uint64
 	// UtilizationPct is eq. 5 in percent, with #links = UsedLinks.
 	// Check UtilizationValid before reading it: a zero value is
 	// ambiguous between an idle network and an incomputable ratio.
@@ -167,6 +173,12 @@ func Run(m *comm.Matrix, topo topology.Topology, mp *mapping.Mapping, opts Optio
 				res.UsedLinks++
 				classBytes[classes[li]] += b
 				classUsed[classes[li]]++
+				if b > res.MaxLinkBytes {
+					res.MaxLinkBytes = b
+				}
+				if res.MinUsedLinkBytes == 0 || b < res.MinUsedLinkBytes {
+					res.MinUsedLinkBytes = b
+				}
 			}
 		}
 		if res.Messages > 0 {

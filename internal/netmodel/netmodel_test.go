@@ -407,3 +407,45 @@ func TestConventionalLinkCountUnknownKind(t *testing.T) {
 		t.Fatal("valiant wrapper should have no paper convention")
 	}
 }
+
+func TestRunLinkOccupancyExtremes(t *testing.T) {
+	topo, err := topology.NewTorus(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0->1 carries 5000 bytes over its single-hop link; 0->7 spreads 100
+	// bytes over three links. Hottest link carries 5100 or 5000 depending
+	// on route overlap; coolest used link carries 100.
+	m := matrixOf(t, 8, [3]uint64{0, 1, 5000}, [3]uint64{0, 7, 100})
+	res, err := Run(m, topo, consecutive(t, 8, 8), Options{WallTime: 1, TrackLinks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantMax, wantMin uint64
+	for _, b := range res.LinkBytes {
+		if b == 0 {
+			continue
+		}
+		if b > wantMax {
+			wantMax = b
+		}
+		if wantMin == 0 || b < wantMin {
+			wantMin = b
+		}
+	}
+	if res.MaxLinkBytes != wantMax || res.MinUsedLinkBytes != wantMin {
+		t.Fatalf("extremes = (%d, %d), want (%d, %d)",
+			res.MaxLinkBytes, res.MinUsedLinkBytes, wantMax, wantMin)
+	}
+	if res.MaxLinkBytes < res.MinUsedLinkBytes || res.MinUsedLinkBytes == 0 {
+		t.Fatalf("implausible extremes: %+v", res)
+	}
+	// Without tracking the extremes stay zero.
+	bare, err := Run(m, topo, consecutive(t, 8, 8), Options{WallTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.MaxLinkBytes != 0 || bare.MinUsedLinkBytes != 0 {
+		t.Fatalf("extremes populated without TrackLinks: %+v", bare)
+	}
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	c := s.Start("child")
+	if c != nil {
+		t.Fatal("nil span returned a live child")
+	}
+	c.Add("k", 1)
+	c.SetLabel("x")
+	c.End()
+	if d := c.Data(); d.Name != "" || d.Counts != nil {
+		t.Fatalf("nil span data = %+v", d)
+	}
+}
+
+func TestSpanTreeAndCounts(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.StartRun("run")
+	gen := root.Start("generate")
+	gen.Add("events", 10)
+	gen.Add("events", 5)
+	gen.SetLabel("LULESH/64")
+	gen.End()
+	acc := root.Start("accumulate")
+	acc.Add("shards", 3)
+	acc.End()
+	root.End()
+
+	runs := tr.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(runs))
+	}
+	d := runs[0].Root
+	if d.Name != "run" || len(d.Children) != 2 {
+		t.Fatalf("root = %+v", d)
+	}
+	if d.Children[0].Name != "generate" || d.Children[0].Counts["events"] != 15 {
+		t.Errorf("generate = %+v", d.Children[0])
+	}
+	if d.Children[0].Label != "LULESH/64" {
+		t.Errorf("label = %q", d.Children[0].Label)
+	}
+	if d.Children[1].Counts["shards"] != 3 {
+		t.Errorf("accumulate = %+v", d.Children[1])
+	}
+	if d.DurationMS < 0 {
+		t.Errorf("duration = %v", d.DurationMS)
+	}
+}
+
+func TestTracerRingBoundedNewestFirst(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 10; i++ {
+		s := tr.StartRun(fmt.Sprintf("run-%d", i))
+		s.End()
+	}
+	runs := tr.Runs()
+	if len(runs) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(runs))
+	}
+	if runs[0].Name != "run-9" || runs[2].Name != "run-7" {
+		t.Errorf("ring order = %q,%q,%q", runs[0].Name, runs[1].Name, runs[2].Name)
+	}
+	if runs[0].ID != 10 {
+		t.Errorf("newest id = %d, want 10", runs[0].ID)
+	}
+	if tr.Recorded() != 10 {
+		t.Errorf("recorded = %d, want 10", tr.Recorded())
+	}
+}
+
+func TestSpanChildrenBounded(t *testing.T) {
+	root := NewTracer(1).StartRun("run")
+	for i := 0; i < maxChildren+7; i++ {
+		root.Start("cell").End()
+	}
+	root.End()
+	d := root.Data()
+	if len(d.Children) != maxChildren {
+		t.Errorf("children = %d, want %d", len(d.Children), maxChildren)
+	}
+	if d.DroppedChildren != 7 {
+		t.Errorf("dropped = %d, want 7", d.DroppedChildren)
+	}
+}
+
+func TestConcurrentSpanWriters(t *testing.T) {
+	tr := NewTracer(2)
+	root := tr.StartRun("run")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := root.Start("cell")
+				c.Add("n", 1)
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	d := root.Data()
+	if len(d.Children) != maxChildren {
+		t.Errorf("children = %d, want cap %d", len(d.Children), maxChildren)
+	}
+	if len(d.Children)+d.DroppedChildren != 8*50 {
+		t.Errorf("children+dropped = %d, want %d", len(d.Children)+d.DroppedChildren, 8*50)
+	}
+	for _, c := range d.Children {
+		if c.Counts["n"] != 1 {
+			t.Fatalf("child count = %d, want 1", c.Counts["n"])
+		}
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("empty context carries span %v", got)
+	}
+	ctx2, sp := Start(ctx, "stage")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("Start on span-less context should be a no-op")
+	}
+	tr := NewTracer(1)
+	root := tr.StartRun("run")
+	ctx = NewContext(ctx, root)
+	ctx3, child := Start(ctx, "stage")
+	if child == nil || FromContext(ctx3) != child {
+		t.Fatal("child not propagated through context")
+	}
+	child.End()
+	root.End()
+	if d := tr.Runs()[0].Root; len(d.Children) != 1 || d.Children[0].Name != "stage" {
+		t.Fatalf("root = %+v", d)
+	}
+}
+
+func TestWriteSummaryAggregatesStages(t *testing.T) {
+	tr := NewTracer(1)
+	root := tr.StartRun("run")
+	for i := 0; i < 3; i++ {
+		c := root.Start("cell")
+		g := c.Start("generate")
+		g.Add("events", 100)
+		g.End()
+		c.End()
+	}
+	root.End()
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, tr.Runs()[0].Root); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + run + cell + generate
+		t.Fatalf("summary lines = %d:\n%s", len(lines), out)
+	}
+	var genLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "generate") {
+			genLine = l
+		}
+	}
+	if genLine == "" || !strings.Contains(genLine, "events=300") {
+		t.Errorf("generate line = %q, want aggregated events=300\n%s", genLine, out)
+	}
+	fields := strings.Fields(genLine)
+	if len(fields) < 3 || fields[1] != "3" {
+		t.Errorf("generate calls = %v, want 3", fields)
+	}
+}
+
+func TestEndTwiceKeepsFirstDuration(t *testing.T) {
+	tr := NewTracer(1)
+	s := tr.StartRun("run")
+	s.End()
+	first := s.Data().DurationMS
+	s.End()
+	if got := s.Data().DurationMS; got != first {
+		t.Errorf("duration changed on double End: %v vs %v", got, first)
+	}
+	if len(tr.Runs()) != 1 {
+		t.Errorf("double End recorded %d runs", len(tr.Runs()))
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of WritePrometheus output
+// (Prometheus text exposition format version 0.0.4).
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format. Series sharing a name form one family: the # HELP
+// and # TYPE header is emitted once (with the first-registered help
+// string), followed by each labeled series. Histograms expand into
+// _bucket (cumulative, with the canonical le label including +Inf),
+// _sum, and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	// Group series into families in first-registration order.
+	var names []string
+	families := map[string][]*metric{}
+	for _, m := range metrics {
+		if _, ok := families[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		families[m.name] = append(families[m.name], m)
+	}
+
+	for _, name := range names {
+		family := families[name]
+		typ := promType(family[0].kind)
+		if family[0].help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(family[0].help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ); err != nil {
+			return err
+		}
+		for _, m := range family {
+			if err := writeSeries(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func promType(k kind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+func writeSeries(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter, kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labelString(m.labels, "", 0), m.val.Load())
+		return err
+	case kindCounterFunc, kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.name, labelString(m.labels, "", 0), formatFloat(m.fn()))
+		return err
+	case kindHistogram:
+		s := m.hist.Snapshot()
+		for i, b := range s.Bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				m.name, labelString(m.labels, "le", b), s.Cumulative[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			m.name, labelStringInf(m.labels), s.Cumulative[len(s.Bounds)]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			m.name, labelString(m.labels, "", 0), formatFloat(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, labelString(m.labels, "", 0), s.Count)
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}; when le is non-empty a le="<bound>"
+// label is appended (for histogram buckets). An empty label set renders
+// as the empty string.
+func labelString(labels []Label, le string, bound float64) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	parts := make([]string, 0, len(labels)+1)
+	for _, l := range labels {
+		parts = append(parts, fmt.Sprintf("%s=%q", l.Key, l.Value))
+	}
+	if le != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", le, formatFloat(bound)))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func labelStringInf(labels []Label) string {
+	parts := make([]string, 0, len(labels)+1)
+	for _, l := range labels {
+		parts = append(parts, fmt.Sprintf("%s=%q", l.Key, l.Value))
+	}
+	parts = append(parts, `le="+Inf"`)
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the exposition format's HELP escaping (label values
+// use %q, whose escaping already matches the format's rules).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name/value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// kind distinguishes the metric families a Registry can hold.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered series.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   kind
+
+	val  atomic.Int64
+	fn   func() float64
+	hist *Histogram
+}
+
+// Registry holds named counters, gauges, and fixed-bucket histograms and
+// renders them as Prometheus text exposition (WritePrometheus) or
+// structured snapshots. Registration is idempotent: asking for an
+// existing (name, labels) series of the same kind returns the original
+// handle; re-registering it as a different kind panics, since two
+// writers would silently corrupt each other.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	index   map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metric)}
+}
+
+func seriesKey(name string, labels []Label) string {
+	key := name
+	for _, l := range labels {
+		key += "\x00" + l.Key + "\x01" + l.Value
+	}
+	return key
+}
+
+func (r *Registry) register(name, help string, k kind, labels []Label) *metric {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.index[key]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different kind", name))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, labels: append([]Label(nil), labels...), kind: k}
+	r.index[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ m *metric }
+
+// Counter registers (or returns) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return &Counter{m: r.register(name, help, kindCounter, labels)}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.m.val.Add(1) }
+
+// Add adds n (negative n panics: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("obs: negative counter increment")
+	}
+	c.m.val.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.m.val.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ m *metric }
+
+// Gauge registers (or returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return &Gauge{m: r.register(name, help, kindGauge, labels)}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.m.val.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.m.val.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.m.val.Load() }
+
+// CounterFunc registers a counter series whose value is sampled from fn
+// at render time (for externally maintained monotone counts, e.g. cache
+// evictions).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindCounterFunc, labels).fn = fn
+}
+
+// GaugeFunc registers a gauge series sampled from fn at render time
+// (e.g. tokens currently in use).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGaugeFunc, labels).fn = fn
+}
+
+// Histogram is a fixed-bucket histogram with atomic counters. Bucket
+// bounds are upper bounds in ascending order; observations above the
+// last bound land in the implicit +Inf bucket, so bucket counts always
+// sum to the observation count.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
+	sumBits atomic.Uint64
+}
+
+// Histogram registers (or returns) a histogram series with the given
+// ascending bucket upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	m := r.register(name, help, kindHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.hist == nil {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+			}
+		}
+		m.hist = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	return m.hist
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a render-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds.
+	Bounds []float64
+	// Cumulative[i] counts observations <= Bounds[i]; the final element
+	// is the +Inf bucket and always equals Count.
+	Cumulative []int64
+	Count      int64
+	Sum        float64
+}
+
+// Snapshot copies the histogram's current state. Bucket counts are read
+// individually, so a snapshot taken concurrently with writers is only
+// approximately consistent; taken after writers quiesce, Cumulative's
+// last element equals Count exactly.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.counts)),
+		Sum:        math.Float64frombits(h.sumBits.Load()),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	s.Count = cum
+	return s
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Total requests.", Label{"endpoint", "analyze"})
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Idempotent registration returns the same series.
+	if again := r.Counter("requests_total", "ignored", Label{"endpoint", "analyze"}); again.Value() != 5 {
+		t.Errorf("re-registration lost state: %d", again.Value())
+	}
+	// Same name, different labels is a distinct series.
+	other := r.Counter("requests_total", "Total requests.", Label{"endpoint", "traces"})
+	if other.Value() != 0 {
+		t.Errorf("distinct series shares state: %d", other.Value())
+	}
+	g := r.Gauge("inflight", "In-flight requests.")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d, want 2", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Errorf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "")
+	r.Gauge("x", "")
+}
+
+func TestNegativeCounterAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("x", "").Add(-1)
+}
+
+// TestHistogramBucketSumInvariant pins the satellite fix: every
+// observation lands in exactly one bucket including +Inf, so the
+// cumulative +Inf bucket always equals the count — even for
+// observations beyond the last bound.
+func TestHistogramBucketSumInvariant(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_ms", "Latency.", []float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 10, 11, 500000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if got := s.Cumulative[len(s.Cumulative)-1]; got != s.Count {
+		t.Errorf("+Inf cumulative = %d, want count %d", got, s.Count)
+	}
+	// le semantics: v == bound belongs to that bucket.
+	if s.Cumulative[0] != 2 { // 0.5 and 1
+		t.Errorf("le_1 = %d, want 2", s.Cumulative[0])
+	}
+	if s.Cumulative[1] != 3 || s.Cumulative[2] != 4 {
+		t.Errorf("cumulative = %v", s.Cumulative)
+	}
+	if want := 0.5 + 1 + 3 + 10 + 11 + 500000; s.Sum != want {
+		t.Errorf("sum = %v, want %v", s.Sum, want)
+	}
+}
+
+func TestConcurrentRegistryWriters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "")
+	g := r.Gauge("level", "")
+	h := r.Histogram("lat", "", []float64{1, 10, 100})
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64((seed*per + j) % 200))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != goroutines*per {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*per)
+	}
+	if g.Value() != goroutines*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), goroutines*per)
+	}
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Errorf("histogram count = %d, want %d", s.Count, goroutines*per)
+	}
+	if s.Cumulative[len(s.Cumulative)-1] != s.Count {
+		t.Errorf("bucket sum %d != count %d", s.Cumulative[len(s.Cumulative)-1], s.Count)
+	}
+}
+
+// parseProm decodes text exposition output into series name+labels →
+// value, checking structural validity (HELP/TYPE lines, parsable
+// values) as it goes.
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	series := map[string]float64{}
+	types := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition output")
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("bad TYPE %q", line)
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		series[line[:sp]] = v
+	}
+	if len(types) == 0 {
+		t.Fatal("no TYPE lines in exposition output")
+	}
+	return series
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("netloc_http_requests_total", "Total HTTP requests.", Label{"endpoint", "analyze"})
+	c.Add(7)
+	r.Counter("netloc_http_requests_total", "Total HTTP requests.", Label{"endpoint", "traces"}).Add(2)
+	g := r.Gauge("netloc_http_inflight", "In-flight requests.")
+	g.Set(1)
+	r.GaugeFunc("netloc_cache_entries", "Cache entries.", func() float64 { return 42 })
+	h := r.Histogram("netloc_latency_ms", "Request latency.", []float64{0.5, 2.5, 10}, Label{"endpoint", "analyze"})
+	h.Observe(0.4)
+	h.Observe(3)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	series := parseProm(t, out)
+
+	want := map[string]float64{
+		`netloc_http_requests_total{endpoint="analyze"}`:         7,
+		`netloc_http_requests_total{endpoint="traces"}`:          2,
+		`netloc_http_inflight`:                                   1,
+		`netloc_cache_entries`:                                   42,
+		`netloc_latency_ms_bucket{endpoint="analyze",le="0.5"}`:  1,
+		`netloc_latency_ms_bucket{endpoint="analyze",le="2.5"}`:  1,
+		`netloc_latency_ms_bucket{endpoint="analyze",le="10"}`:   2,
+		`netloc_latency_ms_bucket{endpoint="analyze",le="+Inf"}`: 3,
+		`netloc_latency_ms_count{endpoint="analyze"}`:            3,
+	}
+	for key, v := range want {
+		got, ok := series[key]
+		if !ok {
+			t.Errorf("missing series %q in:\n%s", key, out)
+			continue
+		}
+		if got != v {
+			t.Errorf("%s = %v, want %v", key, got, v)
+		}
+	}
+	if got := series[`netloc_latency_ms_sum{endpoint="analyze"}`]; got != 0.4+3+99 {
+		t.Errorf("sum = %v", got)
+	}
+	// One family header per name, before its series.
+	if strings.Count(out, "# TYPE netloc_http_requests_total counter") != 1 {
+		t.Errorf("family header repeated or missing:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP netloc_http_requests_total Total HTTP requests.") {
+		t.Errorf("missing HELP line:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE netloc_latency_ms histogram") {
+		t.Errorf("missing histogram TYPE:\n%s", out)
+	}
+}
+
+func TestPrometheusBucketsCumulativeMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 3, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 6))
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	last := -1.0
+	n := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "h_bucket") {
+			continue
+		}
+		n++
+		var v float64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err != nil {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative: %q after %g", line, last)
+		}
+		last = v
+	}
+	if n != 5 { // 4 bounds + +Inf
+		t.Fatalf("bucket lines = %d, want 5", n)
+	}
+	if last != 100 {
+		t.Fatalf("+Inf bucket = %g, want 100", last)
+	}
+}

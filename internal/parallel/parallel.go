@@ -22,12 +22,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Budget is a counting semaphore of worker tokens shared across
-// concurrent analyses and their nested loops.
+// concurrent analyses and their nested loops. It keeps its own
+// scheduling counters (tokens granted, degraded-to-caller events) so an
+// observability layer can report pool pressure without the budget
+// depending on one.
 type Budget struct {
 	tokens chan struct{}
+
+	granted  atomic.Int64
+	degraded atomic.Int64
+	// waitFn, when set, observes how long each blocking Acquire waited
+	// for admission (zero for the non-blocking fast path). Set it once,
+	// before the budget is shared across goroutines.
+	waitFn func(time.Duration)
 }
 
 // NewBudget creates a budget with the given token capacity (minimum 1).
@@ -41,17 +52,67 @@ func NewBudget(capacity int) *Budget {
 // Cap returns the budget's token capacity.
 func (b *Budget) Cap() int { return cap(b.tokens) }
 
+// InUse returns how many tokens are currently held.
+func (b *Budget) InUse() int { return len(b.tokens) }
+
+// SetWaitObserver installs fn to observe every Acquire's queue wait
+// (zero when a token was free). Must be called before the budget is
+// shared across goroutines; fn must be safe for concurrent use.
+func (b *Budget) SetWaitObserver(fn func(time.Duration)) { b.waitFn = fn }
+
+// BudgetStats is a point-in-time view of a budget's scheduling counters.
+type BudgetStats struct {
+	// Capacity and InUse describe the token pool right now.
+	Capacity, InUse int
+	// Granted counts tokens handed out over the budget's lifetime
+	// (blocking Acquires plus successful TryAcquires).
+	Granted int64
+	// Degraded counts TryAcquire failures — nested loops that stayed on
+	// the calling goroutine because the pool was exhausted.
+	Degraded int64
+}
+
+// Stats samples the budget's counters.
+func (b *Budget) Stats() BudgetStats {
+	return BudgetStats{
+		Capacity: cap(b.tokens),
+		InUse:    len(b.tokens),
+		Granted:  b.granted.Load(),
+		Degraded: b.degraded.Load(),
+	}
+}
+
 // Acquire blocks until a token is available. Used for top-level
 // admission (one token per service request); nested loops must use
 // TryAcquire instead so they can never deadlock against each other.
-func (b *Budget) Acquire() { b.tokens <- struct{}{} }
+func (b *Budget) Acquire() {
+	select {
+	case b.tokens <- struct{}{}:
+		b.granted.Add(1)
+		if b.waitFn != nil {
+			b.waitFn(0)
+		}
+		return
+	default:
+	}
+	start := time.Now()
+	b.tokens <- struct{}{}
+	b.granted.Add(1)
+	if b.waitFn != nil {
+		b.waitFn(time.Since(start))
+	}
+}
 
-// TryAcquire takes a token without blocking, reporting success.
+// TryAcquire takes a token without blocking, reporting success. A
+// failure is counted as a degraded-to-caller event: the would-be extra
+// worker's share of the loop runs on the calling goroutine instead.
 func (b *Budget) TryAcquire() bool {
 	select {
 	case b.tokens <- struct{}{}:
+		b.granted.Add(1)
 		return true
 	default:
+		b.degraded.Add(1)
 		return false
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversEveryIndex(t *testing.T) {
@@ -148,5 +149,81 @@ func TestSharedNilBudgetFallsBackToSequential(t *testing.T) {
 	r := Shared(nil, 8)
 	if r.Parallel() {
 		t.Fatal("Shared(nil, 8) reports parallel")
+	}
+}
+
+func TestBudgetStatsCounters(t *testing.T) {
+	b := NewBudget(2)
+	b.Acquire()
+	if !b.TryAcquire() {
+		t.Fatal("second token refused")
+	}
+	if b.TryAcquire() {
+		t.Fatal("exhausted budget granted a token")
+	}
+	s := b.Stats()
+	if s.Capacity != 2 || s.InUse != 2 {
+		t.Errorf("stats = %+v, want capacity 2 in use 2", s)
+	}
+	if s.Granted != 2 {
+		t.Errorf("granted = %d, want 2", s.Granted)
+	}
+	if s.Degraded != 1 {
+		t.Errorf("degraded = %d, want 1", s.Degraded)
+	}
+	b.Release()
+	b.Release()
+	if got := b.InUse(); got != 0 {
+		t.Errorf("in use = %d after release, want 0", got)
+	}
+}
+
+func TestBudgetWaitObserver(t *testing.T) {
+	b := NewBudget(1)
+	var mu sync.Mutex
+	var waits []time.Duration
+	b.SetWaitObserver(func(d time.Duration) {
+		mu.Lock()
+		waits = append(waits, d)
+		mu.Unlock()
+	})
+	b.Acquire() // free token: zero wait
+	done := make(chan struct{})
+	go func() {
+		b.Acquire() // blocks until the release below
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Release()
+	<-done
+	b.Release()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) != 2 {
+		t.Fatalf("observed %d waits, want 2", len(waits))
+	}
+	if waits[0] != 0 {
+		t.Errorf("fast-path wait = %v, want 0", waits[0])
+	}
+	if waits[1] < 10*time.Millisecond {
+		t.Errorf("blocked wait = %v, want >= 10ms", waits[1])
+	}
+}
+
+// TestBudgetDegradedCountedFromForEach pins that an exhausted shared
+// budget shows up in Stats as degraded-to-caller events rather than
+// extra goroutines.
+func TestBudgetDegradedCountedFromForEach(t *testing.T) {
+	b := NewBudget(1)
+	b.Acquire() // hold the only token so ForEach cannot admit extras
+	before := b.Stats().Degraded
+	var n atomic.Int64
+	Shared(b, 4).ForEach(64, func(i int) { n.Add(1) })
+	b.Release()
+	if n.Load() != 64 {
+		t.Fatalf("ForEach covered %d indexes, want 64", n.Load())
+	}
+	if got := b.Stats().Degraded - before; got < 1 {
+		t.Errorf("degraded delta = %d, want >= 1", got)
 	}
 }

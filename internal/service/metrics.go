@@ -2,111 +2,188 @@ package service
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
+
+	"netloc/internal/obs"
+	"netloc/internal/parallel"
 )
 
 // latencyBucketsMs are the upper bounds (in milliseconds) of the request
 // latency histogram, spanning cache hits (sub-millisecond) to cold
 // full-grid computations (tens of seconds).
 var latencyBucketsMs = []float64{
-	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
 }
 
-// histogram is a fixed-bucket latency histogram with atomic counters.
-type histogram struct {
-	counts  []atomic.Int64 // len(latencyBucketsMs)+1; last is +Inf
-	total   atomic.Int64
-	sumUsec atomic.Int64
+// queueWaitBucketsMs bound the engine's admission-wait histogram: most
+// acquisitions are immediate (the 0 bucket), contended ones spread over
+// the same range a queued request would block.
+var queueWaitBucketsMs = []float64{0, 0.1, 1, 5, 25, 100, 500, 2500, 10000}
+
+// pipelineCountNames are the span work counts the registry folds into
+// monotonic pipeline counters after each computation: how much work the
+// service has done, not just how many requests it served.
+var pipelineCountNames = []string{
+	"events", "shards", "peers", "packets", "packet_hops", "sim_messages", "sim_hops",
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Int64, len(latencyBucketsMs)+1)}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.total.Add(1)
-	h.sumUsec.Add(d.Microseconds())
-}
-
-// snapshot renders the histogram as a JSON-encodable map with cumulative
-// bucket counts ("le_<bound>ms" keys), total count, and mean latency.
-func (h *histogram) snapshot() map[string]any {
-	buckets := map[string]int64{}
-	cum := int64(0)
-	for i, bound := range latencyBucketsMs {
-		cum += h.counts[i].Load()
-		buckets[fmt.Sprintf("le_%gms", bound)] = cum
-	}
-	total := h.total.Load()
-	out := map[string]any{
-		"count":   total,
-		"buckets": buckets,
-	}
-	if total > 0 {
-		out["mean_ms"] = float64(h.sumUsec.Load()) / float64(total) / 1000
-	}
-	return out
-}
-
-// endpointMetrics counts requests, errors, and latency of one endpoint.
+// endpointMetrics groups one endpoint's series.
 type endpointMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	latency  *histogram
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
 }
 
-// metricsRegistry is the server's observability state: per-endpoint
-// request counters and latency histograms plus the cache and compute
-// counters. All fields are updated with atomics; the registry map itself
-// is immutable after construction.
+// metricsRegistry is the server's observability state, backed by the
+// shared obs.Registry so the same series serve both the JSON snapshot
+// and the Prometheus text exposition at /metrics.
 type metricsRegistry struct {
+	reg       *obs.Registry
 	endpoints map[string]*endpointMetrics
 
-	inFlight     atomic.Int64
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	computations atomic.Int64
-	deduped      atomic.Int64
+	inFlight     *obs.Gauge
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	computations *obs.Counter
+	deduped      *obs.Counter
+
+	queueWait *obs.Histogram
+	pipeline  map[string]*obs.Counter
 }
 
 func newMetricsRegistry(endpoints []string) *metricsRegistry {
-	m := &metricsRegistry{endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	reg := obs.NewRegistry()
+	m := &metricsRegistry{
+		reg:          reg,
+		endpoints:    make(map[string]*endpointMetrics, len(endpoints)),
+		inFlight:     reg.Gauge("netloc_http_inflight", "Requests currently being served."),
+		cacheHits:    reg.Counter("netloc_cache_hits_total", "Result-cache hits."),
+		cacheMisses:  reg.Counter("netloc_cache_misses_total", "Result-cache misses."),
+		computations: reg.Counter("netloc_compute_executed_total", "Computations actually executed."),
+		deduped:      reg.Counter("netloc_compute_deduped_total", "Requests served by joining an identical in-flight computation."),
+		queueWait:    reg.Histogram("netloc_engine_queue_wait_ms", "Time requests waited for a worker token.", queueWaitBucketsMs),
+		pipeline:     make(map[string]*obs.Counter, len(pipelineCountNames)),
+	}
 	for _, ep := range endpoints {
-		m.endpoints[ep] = &endpointMetrics{latency: newHistogram()}
+		m.endpoints[ep] = &endpointMetrics{
+			requests: reg.Counter("netloc_http_requests_total", "HTTP requests by endpoint.", obs.Label{Key: "endpoint", Value: ep}),
+			errors:   reg.Counter("netloc_http_errors_total", "HTTP responses with status >= 400 by endpoint.", obs.Label{Key: "endpoint", Value: ep}),
+			latency:  reg.Histogram("netloc_http_request_duration_ms", "Request latency by endpoint.", latencyBucketsMs, obs.Label{Key: "endpoint", Value: ep}),
+		}
+	}
+	for _, name := range pipelineCountNames {
+		m.pipeline[name] = reg.Counter("netloc_pipeline_"+name+"_total", "Pipeline work units ("+name+") processed.")
 	}
 	return m
 }
 
+// bindEngine registers the series that read live server state — the
+// worker budget, the result cache, and the span ring — and installs the
+// budget's queue-wait observer. Called once from New, before the server
+// starts serving.
+func (m *metricsRegistry) bindEngine(b *parallel.Budget, c *lruCache, tr *obs.Tracer) {
+	m.reg.GaugeFunc("netloc_engine_tokens_capacity", "Worker-token pool capacity.",
+		func() float64 { return float64(b.Cap()) })
+	m.reg.GaugeFunc("netloc_engine_tokens_in_use", "Worker tokens currently held.",
+		func() float64 { return float64(b.InUse()) })
+	m.reg.CounterFunc("netloc_engine_tokens_granted_total", "Worker tokens granted over the server's lifetime.",
+		func() float64 { return float64(b.Stats().Granted) })
+	m.reg.CounterFunc("netloc_engine_degraded_total", "Fan-out loops that stayed on the calling goroutine because the pool was exhausted.",
+		func() float64 { return float64(b.Stats().Degraded) })
+	m.reg.GaugeFunc("netloc_cache_entries", "Result-cache entries.",
+		func() float64 { return float64(c.Len()) })
+	m.reg.CounterFunc("netloc_cache_evictions_total", "Result-cache evictions.",
+		func() float64 { return float64(c.Evictions()) })
+	m.reg.CounterFunc("netloc_runs_recorded_total", "Analysis runs recorded in the span ring.",
+		func() float64 { return float64(tr.Recorded()) })
+	b.SetWaitObserver(func(d time.Duration) {
+		m.queueWait.Observe(float64(d) / float64(time.Millisecond))
+	})
+}
+
+// observeLatency records one request's latency in milliseconds.
+func (e *endpointMetrics) observeLatency(d time.Duration) {
+	e.latency.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// absorbRun folds a finished run's span work counts into the pipeline
+// counters (unknown count keys are ignored).
+func (m *metricsRegistry) absorbRun(d obs.SpanData) {
+	totals := map[string]int64{}
+	var walk func(obs.SpanData)
+	walk = func(s obs.SpanData) {
+		for k, v := range s.Counts {
+			totals[k] += v
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(d)
+	for k, v := range totals {
+		if c, ok := m.pipeline[k]; ok && v > 0 {
+			c.Add(v)
+		}
+	}
+}
+
+// histogramJSON renders a histogram the way the JSON snapshot always
+// has: cumulative "le_<bound>ms" buckets plus count and mean — now
+// including the +Inf bucket, so out-of-range observations are visible
+// and the last bucket always equals the count.
+func histogramJSON(h *obs.Histogram) map[string]any {
+	s := h.Snapshot()
+	buckets := map[string]int64{}
+	for i, bound := range s.Bounds {
+		buckets[fmt.Sprintf("le_%gms", bound)] = s.Cumulative[i]
+	}
+	buckets["le_+Inf"] = s.Cumulative[len(s.Bounds)]
+	out := map[string]any{
+		"count":   s.Count,
+		"buckets": buckets,
+	}
+	if s.Count > 0 {
+		out["mean_ms"] = s.Sum / float64(s.Count)
+	}
+	return out
+}
+
 // snapshot renders the whole registry as the expvar-style JSON document
-// served at /metrics.
-func (m *metricsRegistry) snapshot(cacheEntries int, cacheEvictions int64) map[string]any {
+// served at /metrics. The cache/compute/inflight/endpoints shape is the
+// service's stable JSON surface; engine and pipeline are additive.
+func (m *metricsRegistry) snapshot(cacheEntries int, cacheEvictions int64, engine parallel.BudgetStats) map[string]any {
 	eps := map[string]any{}
 	for name, ep := range m.endpoints {
 		eps[name] = map[string]any{
-			"requests":   ep.requests.Load(),
-			"errors":     ep.errors.Load(),
-			"latency_ms": ep.latency.snapshot(),
+			"requests":   ep.requests.Value(),
+			"errors":     ep.errors.Value(),
+			"latency_ms": histogramJSON(ep.latency),
 		}
+	}
+	pipeline := map[string]any{}
+	for _, name := range pipelineCountNames {
+		pipeline[name] = m.pipeline[name].Value()
 	}
 	return map[string]any{
 		"cache": map[string]any{
-			"hits":      m.cacheHits.Load(),
-			"misses":    m.cacheMisses.Load(),
+			"hits":      m.cacheHits.Value(),
+			"misses":    m.cacheMisses.Value(),
 			"entries":   cacheEntries,
 			"evictions": cacheEvictions,
 		},
 		"compute": map[string]any{
-			"executed": m.computations.Load(),
-			"deduped":  m.deduped.Load(),
+			"executed": m.computations.Value(),
+			"deduped":  m.deduped.Value(),
 		},
-		"inflight":  m.inFlight.Load(),
+		"inflight": m.inFlight.Value(),
+		"engine": map[string]any{
+			"capacity":      engine.Capacity,
+			"in_use":        engine.InUse,
+			"granted":       engine.Granted,
+			"degraded":      engine.Degraded,
+			"queue_wait_ms": histogramJSON(m.queueWait),
+		},
+		"pipeline":  pipeline,
 		"endpoints": eps,
 	}
 }

@@ -6,13 +6,18 @@
 // group so each result is computed once, and all computation runs inside
 // a worker pool bounded to the configured parallelism. Observability is
 // built in: per-endpoint request counters and latency histograms, cache
-// hit/miss counters, and an in-flight gauge are exported as expvar-style
-// JSON at /metrics. cmd/netlocd is the daemon wrapping this package.
+// hit/miss counters, engine-pool gauges, and pipeline work counters live
+// in one obs.Registry served at /metrics — as expvar-style JSON by
+// default, or Prometheus text exposition via ?format=prom or an Accept
+// header asking for text/plain. Every computation runs under a stage
+// span recorded in a bounded ring served at /v1/debug/runs. cmd/netlocd
+// is the daemon wrapping this package.
 //
 // Endpoints:
 //
 //	GET  /healthz                   liveness probe
-//	GET  /metrics                   observability snapshot (JSON)
+//	GET  /metrics                   observability snapshot (JSON or
+//	                                Prometheus text via ?format=prom)
 //	GET  /v1/experiments            list experiments with descriptions
 //	GET  /v1/experiments/{name}     run one experiment (table1..4, fig1,
 //	                                fig3..5, sim, score, claims); query
@@ -24,21 +29,27 @@
 //	GET  /v1/topologies             inspect the Table 2 configurations
 //	                                for a rank count; query param: ranks
 //	POST /v1/traces/analyze         analyze an uploaded binary .nlt trace
+//	GET  /v1/debug/runs             recent analysis runs with their
+//	                                nested stage spans (newest first)
 package service
 
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"runtime"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"netloc/internal/core"
 	"netloc/internal/harness"
 	"netloc/internal/metrics"
 	"netloc/internal/mpi"
+	"netloc/internal/obs"
 	"netloc/internal/parallel"
 	"netloc/internal/report"
 	"netloc/internal/topology"
@@ -55,6 +66,10 @@ type Options struct {
 	Workers int
 	// MaxUploadBytes bounds POSTed trace bodies; 64 MiB when zero.
 	MaxUploadBytes int64
+	// Log, when set, enables structured request logging: one record per
+	// request with its request ID, endpoint, status, and latency. Nil
+	// disables logging (the default; tests and embedders stay quiet).
+	Log *slog.Logger
 	// Analysis supplies defaults for every analysis (coverage, packet
 	// size, bandwidth, rank cap). Query parameters override coverage,
 	// strategy, and the cap per request.
@@ -72,17 +87,19 @@ type Options struct {
 // budget, while a saturated server degrades each request to its single
 // admission token instead of oversubscribing CPU.
 type Server struct {
-	opts    Options
-	mux     *http.ServeMux
-	cache   *lruCache
-	group   flightGroup
-	budget  *parallel.Budget
-	metrics *metricsRegistry
+	opts      Options
+	mux       *http.ServeMux
+	cache     *lruCache
+	group     flightGroup
+	budget    *parallel.Budget
+	metrics   *metricsRegistry
+	tracer    *obs.Tracer
+	requestID atomic.Int64
 }
 
 // endpointNames are the instrumentation keys of the metrics registry.
 var endpointNames = []string{
-	"healthz", "metrics", "experiments", "analyze", "topologies", "traces",
+	"healthz", "metrics", "experiments", "analyze", "topologies", "traces", "debug",
 }
 
 // New constructs a Server with the given options.
@@ -102,7 +119,9 @@ func New(opts Options) *Server {
 		cache:   newLRUCache(opts.CacheEntries),
 		budget:  parallel.NewBudget(opts.Workers),
 		metrics: newMetricsRegistry(endpointNames),
+		tracer:  obs.NewTracer(obs.DefaultTracerRuns),
 	}
+	s.metrics.bindEngine(s.budget, s.cache, s.tracer)
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperimentList))
@@ -110,6 +129,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("GET /v1/topologies", s.instrument("topologies", s.handleTopologies))
 	s.mux.HandleFunc("POST /v1/traces/analyze", s.instrument("traces", s.handleTraceAnalyze))
+	s.mux.HandleFunc("GET /v1/debug/runs", s.instrument("debug", s.handleDebugRuns))
 	return s
 }
 
@@ -137,20 +157,34 @@ func (w *statusWriter) WriteHeader(status int) {
 }
 
 // instrument wraps a handler with the endpoint's request counter, error
-// counter, latency histogram, and the global in-flight gauge.
+// counter, latency histogram, the global in-flight gauge, a response
+// X-Request-ID header, and (when Options.Log is set) one structured log
+// record per request.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	em := s.metrics.endpoints[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := s.requestID.Add(1)
+		w.Header().Set("X-Request-ID", fmt.Sprintf("%08x", id))
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		em.requests.Add(1)
+		elapsed := time.Since(start)
+		em.requests.Inc()
 		if sw.status >= 400 {
-			em.errors.Add(1)
+			em.errors.Inc()
 		}
-		em.latency.observe(time.Since(start))
+		em.observeLatency(elapsed)
+		if s.opts.Log != nil {
+			s.opts.Log.Info("request",
+				"id", id,
+				"endpoint", endpoint,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration_ms", float64(elapsed)/float64(time.Millisecond))
+		}
 	}
 }
 
@@ -177,18 +211,24 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // cached serves one canonicalized request: from the LRU on a hit,
 // otherwise through the singleflight group and the worker pool, caching
-// the marshaled bytes for the next identical request.
-func (s *Server) cached(key string, compute func() (any, error)) ([]byte, error) {
+// the marshaled bytes for the next identical request. Each executed
+// computation runs under a root span (compute receives it to hand down
+// to the pipeline); the finished run lands in the span ring and its
+// work counts feed the pipeline counters.
+func (s *Server) cached(key string, compute func(sp *obs.Span) (any, error)) ([]byte, error) {
 	if b, ok := s.cache.Get(key); ok {
-		s.metrics.cacheHits.Add(1)
+		s.metrics.cacheHits.Inc()
 		return b, nil
 	}
-	s.metrics.cacheMisses.Add(1)
+	s.metrics.cacheMisses.Inc()
 	b, err, shared := s.group.Do(key, func() ([]byte, error) {
 		s.budget.Acquire() // request-level admission: one token per computation
 		defer s.budget.Release()
-		s.metrics.computations.Add(1)
-		v, err := compute()
+		s.metrics.computations.Inc()
+		root := s.tracer.StartRun(key)
+		v, err := compute(root)
+		root.End()
+		s.metrics.absorbRun(root.Data())
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +240,7 @@ func (s *Server) cached(key string, compute func() (any, error)) ([]byte, error)
 		return b, nil
 	})
 	if shared {
-		s.metrics.deduped.Add(1)
+		s.metrics.deduped.Inc()
 	}
 	return b, err
 }
@@ -210,7 +250,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.metrics.snapshot(s.cache.Len(), s.cache.Evictions()))
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		if err := s.metrics.reg.WritePrometheus(w); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, s.metrics.snapshot(s.cache.Len(), s.cache.Evictions(), s.budget.Stats()))
+}
+
+// wantsPrometheus selects the text exposition format: explicitly via
+// ?format=prom, or via an Accept header asking for text/plain or
+// OpenMetrics (what Prometheus scrapers send). The default stays JSON,
+// so existing consumers see an unchanged document.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// DebugRuns is the /v1/debug/runs response: the most recent analysis
+// runs (newest first) with their nested stage spans, plus how many runs
+// were recorded over the server's lifetime.
+type DebugRuns struct {
+	Recorded int64           `json:"recorded"`
+	Runs     []obs.RunRecord `json:"runs"`
+}
+
+func (s *Server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, DebugRuns{Recorded: s.tracer.Recorded(), Runs: s.tracer.Runs()})
 }
 
 // ExperimentInfo is one row of the experiment listing.
@@ -327,7 +398,11 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("exp/%s?app=%s&coverage=%g&maxranks=%d&minranks=%d&rank=%d&ranks=%d&strategy=%s",
 		name, p.App, opts.Coverage, opts.MaxRanks, p.MinRanks, p.Rank, p.Ranks, opts.Strategy)
-	b, err := s.cached(key, func() (any, error) { return harness.Collect(p) })
+	b, err := s.cached(key, func(sp *obs.Span) (any, error) {
+		q := p
+		q.Options.Span = sp
+		return harness.Collect(q)
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -391,8 +466,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("analyze?app=%s&coverage=%g&mapping=%s&ranks=%d&strategy=%s&topo=%s",
 		app, opts.Coverage, mapping, ranks, opts.Strategy, topo)
-	b, err := s.cached(key, func() (any, error) {
-		a, err := core.AnalyzeAppOn(app, ranks, topo, mapping, opts)
+	b, err := s.cached(key, func(sp *obs.Span) (any, error) {
+		o := opts
+		o.Span = sp
+		a, err := core.AnalyzeAppOn(app, ranks, topo, mapping, o)
 		if err != nil {
 			return nil, err
 		}
@@ -473,7 +550,7 @@ func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("topo?ranks=%d", ranks)
-	b, err := s.cached(key, func() (any, error) {
+	b, err := s.cached(key, func(*obs.Span) (any, error) {
 		tor, ft, df, err := topology.Configs(ranks)
 		if err != nil {
 			return nil, err
@@ -514,8 +591,12 @@ func (s *Server) handleTraceAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.budget.Acquire()
-	s.metrics.computations.Add(1)
+	s.metrics.computations.Inc()
+	root := s.tracer.StartRun(fmt.Sprintf("trace/%s/%d", t.Meta.App, t.Meta.Ranks))
+	opts.Span = root
 	a, err := core.AnalyzeTrace(t, opts)
+	root.End()
+	s.metrics.absorbRun(root.Data())
 	s.budget.Release()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

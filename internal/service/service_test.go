@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,7 @@ import (
 
 	"netloc/internal/core"
 	"netloc/internal/harness"
+	"netloc/internal/obs"
 	"netloc/internal/report"
 	"netloc/internal/trace"
 )
@@ -514,16 +516,169 @@ func TestSingleflightPanicSharedByWaiters(t *testing.T) {
 }
 
 func TestHistogramBuckets(t *testing.T) {
-	h := newHistogram()
-	h.observe(200 * time.Microsecond)
-	h.observe(3 * time.Millisecond)
-	h.observe(2 * time.Second)
-	snap := h.snapshot()
-	if snap["count"].(int64) != 3 {
+	m := newMetricsRegistry([]string{"x"})
+	em := m.endpoints["x"]
+	em.observeLatency(200 * time.Microsecond)
+	em.observeLatency(3 * time.Millisecond)
+	em.observeLatency(2 * time.Second)
+	em.observeLatency(time.Hour) // beyond the last bound: only +Inf holds it
+	snap := histogramJSON(em.latency)
+	if snap["count"].(int64) != 4 {
 		t.Fatalf("count = %v", snap["count"])
 	}
 	buckets := snap["buckets"].(map[string]int64)
 	if buckets["le_0.25ms"] != 1 || buckets["le_5ms"] != 2 || buckets["le_2500ms"] != 3 {
 		t.Errorf("buckets = %v", buckets)
+	}
+	// The 5000ms bound fills the gap between 2500 and 10000.
+	if buckets["le_5000ms"] != 3 || buckets["le_10000ms"] != 3 {
+		t.Errorf("buckets = %v", buckets)
+	}
+	// The +Inf bucket is rendered and always equals the count.
+	if buckets["le_+Inf"] != 4 {
+		t.Errorf("le_+Inf = %d, want 4 (buckets %v)", buckets["le_+Inf"], buckets)
+	}
+}
+
+// TestMetricsPrometheusFormat checks content negotiation and the
+// structural validity of the text exposition output.
+func TestMetricsPrometheusFormat(t *testing.T) {
+	ts := newTestServer(t, Options{Analysis: core.Options{MaxRanks: 32}})
+	getOK(t, ts, "/v1/topologies?ranks=27")
+
+	// Default stays JSON.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default content type = %q", ct)
+	}
+	if !json.Valid(body) {
+		t.Fatalf("default /metrics is not JSON: %s", body)
+	}
+
+	for _, path := range []string{"/metrics?format=prom", "/metrics"} {
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(path, "format=prom") {
+			req.Header.Set("Accept", "text/plain;version=0.0.4")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Errorf("%s content type = %q", path, ct)
+		}
+		out := string(body)
+		for _, want := range []string{
+			"# TYPE netloc_http_requests_total counter",
+			"# TYPE netloc_http_request_duration_ms histogram",
+			`netloc_http_requests_total{endpoint="topologies"} 1`,
+			`le="+Inf"`,
+			"netloc_engine_tokens_capacity",
+			"netloc_cache_misses_total 1",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s missing %q in:\n%s", path, want, out)
+			}
+		}
+	}
+}
+
+// TestDebugRunsServesSpans checks the span ring endpoint: an analysis
+// run appears newest-first with its nested pipeline stages.
+func TestDebugRunsServesSpans(t *testing.T) {
+	ts := newTestServer(t, Options{Analysis: core.Options{MaxRanks: 64}})
+	getOK(t, ts, "/v1/analyze?app=LULESH&ranks=64&topo=torus")
+	var doc DebugRuns
+	if err := json.Unmarshal(getOK(t, ts, "/v1/debug/runs"), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Recorded < 1 || len(doc.Runs) < 1 {
+		t.Fatalf("no runs recorded: %+v", doc)
+	}
+	run := doc.Runs[0]
+	if !strings.Contains(run.Name, "analyze") {
+		t.Errorf("newest run = %q, want the analyze computation", run.Name)
+	}
+	stages := map[string]bool{}
+	var walk func(d obs.SpanData)
+	walk = func(d obs.SpanData) {
+		stages[d.Name] = true
+		for _, c := range d.Children {
+			walk(c)
+		}
+	}
+	walk(run.Root)
+	for _, stage := range []string{"generate", "accumulate", "netmodel"} {
+		if !stages[stage] {
+			t.Errorf("stage %q missing from run spans (got %v)", stage, stages)
+		}
+	}
+}
+
+// TestRequestIDAndLogging checks every response carries an X-Request-ID
+// and that an attached slog logger records one line per request.
+func TestRequestIDAndLogging(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewTextHandler(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), nil))
+	ts := newTestServer(t, Options{Log: logger, Analysis: core.Options{MaxRanks: 32}})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("missing X-Request-ID header")
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if id2 := resp2.Header.Get("X-Request-ID"); id2 == id {
+		t.Errorf("request IDs not unique: %q twice", id)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "endpoint=healthz") || !strings.Contains(out, "status=200") {
+		t.Errorf("log output missing request record:\n%s", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestPipelineCountersAbsorbed checks computation work counts flow from
+// spans into the monotonic pipeline counters on /metrics.
+func TestPipelineCountersAbsorbed(t *testing.T) {
+	ts := newTestServer(t, Options{Analysis: core.Options{MaxRanks: 64}})
+	getOK(t, ts, "/v1/analyze?app=LULESH&ranks=64&topo=torus")
+	var doc struct {
+		Pipeline map[string]int64 `json:"pipeline"`
+	}
+	if err := json.Unmarshal(getOK(t, ts, "/metrics"), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Pipeline["events"] == 0 || doc.Pipeline["packets"] == 0 {
+		t.Errorf("pipeline counters not absorbed: %v", doc.Pipeline)
 	}
 }

@@ -88,8 +88,17 @@ type Stats struct {
 	// carried traffic, measured over the makespan — the dynamic
 	// counterpart of the paper's eq. 5.
 	MeasuredUtilizationPct float64
-	// MaxLinkBusyPct is the busy share of the hottest link.
+	// MaxLinkBusyPct and MinLinkBusyPct are the busy shares of the
+	// hottest and coolest links that carried any traffic — the
+	// channel-occupancy extremes around MeasuredUtilizationPct's mean.
 	MaxLinkBusyPct float64
+	MinLinkBusyPct float64
+	// UsedLinks is the number of links that carried traffic.
+	UsedLinks int
+	// HopsTraversed is the total number of link traversals across all
+	// simulated messages (the dynamic counterpart of eq. 3's packet
+	// hops, counted per message rather than per packet).
+	HopsTraversed uint64
 }
 
 // message is one wire transfer with a release time.
@@ -164,6 +173,7 @@ func Simulate(t *trace.Trace, topo topology.Topology, mp *mapping.Mapping, opts 
 	var lastArrival float64
 	var slacks []float64
 	var slackCovered int
+	var hopsTraversed uint64
 
 	var route []int
 	for _, m := range msgs {
@@ -188,6 +198,7 @@ func Simulate(t *trace.Trace, topo topology.Topology, mp *mapping.Mapping, opts 
 		}
 		serial := float64(m.bytes) / bw
 		ideal := float64(len(route)-1)*hopLat + serial
+		hopsTraversed += uint64(len(route))
 
 		headTime := m.release
 		wasDelayed := false
@@ -226,7 +237,7 @@ func Simulate(t *trace.Trace, topo topology.Topology, mp *mapping.Mapping, opts 
 		return nil, fmt.Errorf("simnet: all messages were intra-node")
 	}
 
-	stats := &Stats{Messages: len(latencies)}
+	stats := &Stats{Messages: len(latencies), HopsTraversed: hopsTraversed}
 	sort.Float64s(latencies)
 	var sum float64
 	for _, l := range latencies {
@@ -245,7 +256,7 @@ func Simulate(t *trace.Trace, topo topology.Topology, mp *mapping.Mapping, opts 
 	stats.Makespan = lastArrival - firstRelease
 
 	if stats.Makespan > 0 {
-		var busySum, busyMax float64
+		var busySum, busyMax, busyMin float64
 		used := 0
 		for _, b := range linkBusy {
 			if b > 0 {
@@ -254,10 +265,15 @@ func Simulate(t *trace.Trace, topo topology.Topology, mp *mapping.Mapping, opts 
 				if b > busyMax {
 					busyMax = b
 				}
+				if busyMin == 0 || b < busyMin {
+					busyMin = b
+				}
 			}
 		}
+		stats.UsedLinks = used
 		if used > 0 {
 			stats.MeasuredUtilizationPct = clampPct(100 * busySum / (stats.Makespan * float64(used)))
+			stats.MinLinkBusyPct = clampPct(100 * busyMin / stats.Makespan)
 		}
 		stats.MaxLinkBusyPct = clampPct(100 * busyMax / stats.Makespan)
 	}

@@ -449,3 +449,36 @@ func TestSimulateInvariantsProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestSimulateOccupancyAndHops(t *testing.T) {
+	// 0->1 is one hop on a 2x2x2 torus; 0->7 is three hops. Two network
+	// messages traverse 4 links total, all four busy shares nonzero.
+	tr := &trace.Trace{
+		Meta: trace.Meta{App: "s", Ranks: 8, WallTime: 10},
+		Events: []trace.Event{
+			{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 12000, Start: 0, End: 1},
+			{Rank: 0, Op: trace.OpSend, Peer: 7, Root: -1, Bytes: 6000, Start: 0, End: 1},
+		},
+	}
+	stats, err := Simulate(tr, torus222(t), consecutive(t, 8, 8), Options{
+		BandwidthBytesPerSec: 12000,
+		PacketBytes:          4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HopsTraversed != 4 {
+		t.Fatalf("HopsTraversed = %d, want 4", stats.HopsTraversed)
+	}
+	if stats.UsedLinks < 2 || stats.UsedLinks > 4 {
+		t.Fatalf("UsedLinks = %d, want 2..4 (routes may share links)", stats.UsedLinks)
+	}
+	if stats.MinLinkBusyPct <= 0 || stats.MaxLinkBusyPct < stats.MinLinkBusyPct {
+		t.Fatalf("busy extremes = (%v, %v)", stats.MinLinkBusyPct, stats.MaxLinkBusyPct)
+	}
+	if stats.MeasuredUtilizationPct < stats.MinLinkBusyPct-1e-9 ||
+		stats.MeasuredUtilizationPct > stats.MaxLinkBusyPct+1e-9 {
+		t.Fatalf("mean %v outside extremes (%v, %v)",
+			stats.MeasuredUtilizationPct, stats.MinLinkBusyPct, stats.MaxLinkBusyPct)
+	}
+}

@@ -30,6 +30,9 @@ trap 'rm -f "$RAW"' EXIT
     printf '{\n'
     printf '  "date": "%s",\n' "$DATE"
     printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+    printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc)}"
+    printf '  "arch": "%s/%s",\n' "$(go env GOOS)" "$(go env GOARCH)"
+    printf '  "kernel": "%s",\n' "$(uname -sr)"
     printf '  "benchtime": "%s",\n' "$BENCHTIME"
     printf '  "benchmarks": [\n'
     awk '

@@ -6,6 +6,14 @@
 set -e
 cd "$(dirname "$0")/.."
 
+echo "=== gofmt ==="
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
 echo "=== go vet ==="
 go vet ./...
 
@@ -21,8 +29,8 @@ go test -race ./...
 # with explicit worker counts > 1 so the race detector always sees the
 # concurrent paths.
 echo "=== go test -race (parallel engine, forced workers) ==="
-go test -race -run 'Parallel|Determinism|Budget|ForEach|Singleflight' \
-    ./internal/parallel ./internal/comm ./internal/metrics ./internal/core ./internal/service .
+go test -race -run 'Parallel|Determinism|Budget|ForEach|Singleflight|Concurrent|Span|Registry' \
+    ./internal/parallel ./internal/comm ./internal/metrics ./internal/core ./internal/service ./internal/obs .
 
 echo "=== examples ==="
 sh scripts/run_examples.sh
