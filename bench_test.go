@@ -15,6 +15,7 @@ import (
 
 	"netloc/internal/comm"
 	"netloc/internal/core"
+	"netloc/internal/design"
 	"netloc/internal/mapping"
 	"netloc/internal/metrics"
 	"netloc/internal/mpi"
@@ -522,5 +523,31 @@ func BenchmarkAblationValiantRouting(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDesignSearchSmall pins the cost of a small topology design
+// search: the milc workload at 64 ranks swept over all four families and
+// both default mappings, two configurations per family. This is the
+// /v1/design sync path end to end (trace generation, accumulation,
+// candidate build/map/model/simulate, ranking).
+func BenchmarkDesignSearchSmall(b *testing.B) {
+	req := design.Request{
+		App:         "milc",
+		Ranks:       64,
+		Constraints: design.Constraints{MaxCandidates: 2},
+	}
+	for i := 0; i < b.N; i++ {
+		sheet, err := design.Search(req, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.DesignSheet(io.Discard, sheet, false); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(sheet.Rows)), "candidates")
+			b.ReportMetric(sheet.Best().Score, "best-score")
+		}
 	}
 }

@@ -1,0 +1,113 @@
+// Command netdesign searches the topology configuration space for a
+// workload and prints the ranked design sheet: the optimizer behind
+// netlocd's /v1/design endpoints, runnable offline.
+//
+// Usage:
+//
+//	netdesign -app milc -ranks 512                  # full sweep, text sheet
+//	netdesign -app LULESH -ranks 512 -radix 24      # constrain the switch radix
+//	netdesign -trace run.nlt -families torus,mesh   # design for a recorded trace
+//	netdesign -apps                                 # list accepted workloads
+//
+// Flags:
+//
+//	-app string        workload to design for (see -apps; default "milc")
+//	-ranks int         node/rank count the network must provide (default 512)
+//	-trace string      design for a binary .nlt trace instead of a named app
+//	-families string   comma-separated topology families to sweep (default all)
+//	-mappings string   comma-separated mapping strategies to sweep
+//	-radix int         max switch radix (0 = default 48)
+//	-switches int      max switch count, cost cap (0 = unbounded)
+//	-links int         max link count, cost cap (0 = unbounded)
+//	-candidates int    max configurations per family (0 = default 6)
+//	-whops float       score weight of avg hops (default 1)
+//	-wmakespan float   score weight of simulated makespan (default 1)
+//	-wcost float       score weight of hardware cost (default 1)
+//	-j int             worker goroutines (0 = GOMAXPROCS, 1 = sequential)
+//	-csv               emit CSV instead of aligned text
+//	-json              emit structured JSON (the service's encoding)
+//	-apps              list accepted workload names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"netloc/internal/core"
+	"netloc/internal/design"
+	"netloc/internal/report"
+	"netloc/internal/trace"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "milc", "workload to design for")
+		ranks      = flag.Int("ranks", 512, "node/rank count the network must provide")
+		traceIn    = flag.String("trace", "", "design for a binary .nlt trace instead of a named app")
+		families   = flag.String("families", "", "comma-separated topology families to sweep")
+		mappings   = flag.String("mappings", "", "comma-separated mapping strategies to sweep")
+		radix      = flag.Int("radix", 0, "max switch radix (0 = default)")
+		switches   = flag.Int("switches", 0, "max switch count (0 = unbounded)")
+		links      = flag.Int("links", 0, "max link count (0 = unbounded)")
+		candidates = flag.Int("candidates", 0, "max configurations per family (0 = default)")
+		whops      = flag.Float64("whops", 1, "score weight of avg hops")
+		wmakespan  = flag.Float64("wmakespan", 1, "score weight of simulated makespan")
+		wcost      = flag.Float64("wcost", 1, "score weight of hardware cost")
+		workers    = flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		asJSON     = flag.Bool("json", false, "emit structured JSON")
+		listApps   = flag.Bool("apps", false, "list accepted workload names")
+	)
+	flag.Parse()
+	if *listApps {
+		fmt.Println(strings.Join(design.AppNames(), "\n"))
+		return
+	}
+	req := design.Request{
+		App:   *app,
+		Ranks: *ranks,
+		Constraints: design.Constraints{
+			MaxRadix:      *radix,
+			MaxSwitches:   *switches,
+			MaxLinks:      *links,
+			MaxCandidates: *candidates,
+		},
+		Weights: design.Weights{Hops: *whops, Makespan: *wmakespan, Cost: *wcost},
+	}
+	if *families != "" {
+		req.Families = strings.Split(*families, ",")
+	}
+	if *mappings != "" {
+		req.Mappings = strings.Split(*mappings, ",")
+	}
+	if err := run(os.Stdout, req, *traceIn, core.Options{Parallelism: *workers}, *csv, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "netdesign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, req design.Request, traceIn string, opts core.Options, csv, asJSON bool) error {
+	if traceIn != "" {
+		f, err := os.Open(traceIn)
+		if err != nil {
+			return err
+		}
+		t, err := trace.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		req.Trace = t
+	}
+	sheet, err := design.Search(req, opts)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return report.JSON(w, sheet)
+	}
+	return report.DesignSheet(w, sheet, csv)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netloc/internal/core"
+	"netloc/internal/design"
+	"netloc/internal/trace"
+)
+
+func smallReq() design.Request {
+	return design.Request{
+		App:         "milc",
+		Ranks:       16,
+		Families:    []string{"torus", "fattree"},
+		Constraints: design.Constraints{MaxCandidates: 1},
+	}
+}
+
+// TestRunText renders the sheet header and one row per candidate.
+func TestRunText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, smallReq(), "", core.Options{Parallelism: 1}, false, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "design sheet: MILC @ 16 ranks") {
+		t.Fatalf("missing sheet header:\n%s", out)
+	}
+	for _, col := range []string{"avg hops", "makespan s", "switches", "score"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("missing column %q:\n%s", col, out)
+		}
+	}
+	if !strings.Contains(out, "+consecutive") || !strings.Contains(out, "+greedy") {
+		t.Errorf("missing default mapping rows:\n%s", out)
+	}
+}
+
+// TestRunCSVAndJSON checks the alternate encodings parse as expected.
+func TestRunCSVAndJSON(t *testing.T) {
+	var csvBuf bytes.Buffer
+	if err := run(&csvBuf, smallReq(), "", core.Options{Parallelism: 1}, true, false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) < 3 { // header + 2 families x 2 mappings (>= 2 rows)
+		t.Fatalf("csv too short:\n%s", csvBuf.String())
+	}
+	if !strings.HasPrefix(lines[0], "rank,candidate,nodes") {
+		t.Fatalf("csv header %q", lines[0])
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := run(&jsonBuf, smallReq(), "", core.Options{Parallelism: 1}, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonBuf.String(), `"rows"`) {
+		t.Fatalf("json output missing rows:\n%s", jsonBuf.String())
+	}
+}
+
+// TestRunTraceFile designs for a trace read from disk.
+func TestRunTraceFile(t *testing.T) {
+	tr := &trace.Trace{
+		Meta: trace.Meta{App: "fromfile", Ranks: 8, WallTime: 1},
+		Events: []trace.Event{
+			{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 1 << 20, End: 10},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "run.nlt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	req := smallReq()
+	req.App, req.Ranks = "", 0 // the trace supplies the workload
+	var buf bytes.Buffer
+	if err := run(&buf, req, path, core.Options{Parallelism: 1}, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "design sheet: fromfile @ 8 ranks") {
+		t.Fatalf("trace-driven sheet header wrong:\n%s", buf.String())
+	}
+}
+
+// TestRunErrors: invalid requests and missing files fail cleanly.
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	req := smallReq()
+	req.Ranks = -1
+	if err := run(&buf, req, "", core.Options{}, false, false); err == nil {
+		t.Error("negative ranks accepted")
+	}
+	if err := run(&buf, smallReq(), filepath.Join(t.TempDir(), "missing.nlt"), core.Options{}, false, false); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

@@ -62,6 +62,9 @@ func describe(cfg topology.Config, ranks int) error {
 	}
 	fmt.Printf("%s %s: %d nodes (%d ranks mapped), %d vertices, %d links (%d terminal, %d local, %d global)\n",
 		cfg.Kind, cfg, topo.Nodes(), ranks, topo.NumVertices(), len(topo.Links()), term, local, global)
+	cost := topology.CostOf(topo)
+	fmt.Printf("  cost: %d switches, %d links, %d ports (%.1f units)\n",
+		cost.Switches, cost.Links, cost.Ports, cost.Units())
 
 	// Hop histogram over the mapped rank pairs (consecutive mapping).
 	hist := map[int]int{}

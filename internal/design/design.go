@@ -1,0 +1,722 @@
+// Package design closes the loop the paper leaves open: instead of only
+// *evaluating* a (topology, mapping) pair the user already picked, it
+// searches the configuration space for a workload and returns a ranked
+// design sheet.
+//
+// The search follows the two recipes named in PAPERS.md — Solnushkin's
+// automated fat-tree design (enumerate feasible configurations under
+// radix/cost constraints, arXiv 1301.6179) and Deng et al.'s
+// minimal-mean-path-length topology search (arXiv 1904.00513) — and
+// scores every candidate with the repo's full analysis pipeline: the
+// workload trace is generated (or supplied) once, accumulated into
+// communication matrices once, and each candidate configuration is then
+// built, mapped, driven through the static network model (avg hops, link
+// utilization) and the flow-level simulator (makespan), and priced with
+// the shared topology.Cost model.
+//
+// All candidate evaluation fans out deterministically on
+// internal/parallel: results are index-addressed, reductions and the
+// final ranking run in index order, and tie-breaks are pinned by
+// (score, candidate name) — so the ranked sheet is byte-identical at any
+// worker count.
+package design
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"netloc/internal/comm"
+	"netloc/internal/core"
+	"netloc/internal/netmodel"
+	"netloc/internal/parallel"
+	"netloc/internal/simnet"
+	"netloc/internal/topology"
+	"netloc/internal/trace"
+)
+
+// Families lists the topology families the optimizer can sweep, in the
+// canonical sheet order.
+func Families() []string { return []string{"torus", "mesh", "fattree", "dragonfly"} }
+
+// DefaultMappings are the mapping strategies a search sweeps when the
+// request names none: the paper's consecutive baseline plus the greedy
+// communication-aware mapper its discussion motivates.
+func DefaultMappings() []string { return []string{core.MappingConsecutive, core.MappingGreedy} }
+
+// Default search bounds.
+const (
+	// DefaultMaxRadix is the switch-radix cap when the request sets none
+	// (the study's deliberately high fat-tree radix).
+	DefaultMaxRadix = topology.FatTreeRadix
+	// DefaultMaxCandidates bounds the enumerated configurations per
+	// family when the request sets no cap.
+	DefaultMaxCandidates = 6
+	// maxNodeSlack rejects candidates provisioning more than this many
+	// times the requested node count — gross overprovisioning is never
+	// cost-competitive and only slows the sweep.
+	maxNodeSlack = 4
+)
+
+// Constraints bound the candidate space. Zero values mean "default" for
+// MaxRadix and MaxCandidates and "unbounded" for the cost caps.
+type Constraints struct {
+	// MaxRadix caps the switch radix of enumerated fat trees and
+	// dragonflies (and requires >= 6 neighbor ports for torus/mesh
+	// routers). Must be >= 3 when set; DefaultMaxRadix when zero.
+	MaxRadix int `json:"max_radix,omitempty"`
+	// MaxSwitches and MaxLinks drop candidates whose built cost exceeds
+	// them (0 = unbounded). They are the cost proxies of the request.
+	MaxSwitches int `json:"max_switches,omitempty"`
+	MaxLinks    int `json:"max_links,omitempty"`
+	// MaxCandidates caps the configurations enumerated per family
+	// (DefaultMaxCandidates when zero).
+	MaxCandidates int `json:"max_candidates,omitempty"`
+}
+
+func (c Constraints) maxRadix() int {
+	if c.MaxRadix == 0 {
+		return DefaultMaxRadix
+	}
+	return c.MaxRadix
+}
+
+func (c Constraints) maxCandidates() int {
+	if c.MaxCandidates == 0 {
+		return DefaultMaxCandidates
+	}
+	return c.MaxCandidates
+}
+
+// Weights are the relative importance of the three score terms. Each
+// candidate's metric is normalized by the best value over the sheet, so
+// a weight of 1 contributes 1.0 for the best candidate on that axis.
+// The zero value (all weights zero) means the balanced default (1,1,1);
+// with any weight set, zero weights disable their term.
+type Weights struct {
+	Hops     float64 `json:"hops"`
+	Makespan float64 `json:"makespan"`
+	Cost     float64 `json:"cost"`
+}
+
+func (w Weights) withDefaults() Weights {
+	if w == (Weights{}) {
+		return Weights{Hops: 1, Makespan: 1, Cost: 1}
+	}
+	return w
+}
+
+// Request describes one design search: a workload (a named app at a
+// scale, or a pre-loaded trace) plus the candidate space to sweep.
+type Request struct {
+	// App and Ranks name the workload. App accepts the workload names
+	// case-insensitively plus the design-only extras (see ExtraApps).
+	// Ranks is also the node count the designed network must provide.
+	App   string `json:"app"`
+	Ranks int    `json:"ranks"`
+	// Families restricts the swept topology families (nil = all of
+	// Families(); an explicitly empty list is a validation error).
+	Families []string `json:"families,omitempty"`
+	// Mappings restricts the swept mapping strategies (nil =
+	// DefaultMappings; an explicitly empty list is a validation error).
+	Mappings    []string    `json:"mappings,omitempty"`
+	Constraints Constraints `json:"constraints"`
+	Weights     Weights     `json:"weights"`
+
+	// Trace, when set, is the workload: App becomes a label and Ranks is
+	// taken from the trace metadata. Never serialized.
+	Trace *trace.Trace `json:"-"`
+	// Progress, when set, observes candidate completion: it is called
+	// after each evaluated configuration with the number done so far and
+	// the total. Calls may arrive from worker goroutines; consumers
+	// should clamp monotonically (the job store does).
+	Progress func(done, total int) `json:"-"`
+}
+
+// withDefaults canonicalizes the request (families, mappings, weights).
+func (r Request) withDefaults() Request {
+	if r.Trace != nil {
+		r.Ranks = r.Trace.Meta.Ranks
+		if r.App == "" {
+			r.App = r.Trace.Meta.App
+		}
+	}
+	if r.Families == nil {
+		r.Families = Families()
+	}
+	if r.Mappings == nil {
+		r.Mappings = DefaultMappings()
+	}
+	r.Weights = r.Weights.withDefaults()
+	return r
+}
+
+// ErrNoCandidates is wrapped by searches whose constraint set admits no
+// configuration at all; services map it to a 400.
+var ErrNoCandidates = errors.New("design: no feasible candidates")
+
+// Validate checks a canonicalized request the way the service validates
+// rank parameters: structured errors listing the admissible values,
+// never a panic or a silent empty sheet.
+func (r Request) Validate() error {
+	if r.Trace == nil {
+		if r.App == "" {
+			return errors.New("design: missing app (or trace) in request")
+		}
+		if err := knownApp(r.App); err != nil {
+			return err
+		}
+	}
+	if r.Ranks <= 0 {
+		return fmt.Errorf("design: non-positive node count %d (need >= 1)", r.Ranks)
+	}
+	if r.Constraints.MaxRadix != 0 && r.Constraints.MaxRadix < 3 {
+		return fmt.Errorf("design: max_radix %d too small (need >= 3)", r.Constraints.MaxRadix)
+	}
+	if r.Constraints.MaxSwitches < 0 {
+		return fmt.Errorf("design: negative max_switches %d", r.Constraints.MaxSwitches)
+	}
+	if r.Constraints.MaxLinks < 0 {
+		return fmt.Errorf("design: negative max_links %d", r.Constraints.MaxLinks)
+	}
+	if r.Constraints.MaxCandidates < 0 {
+		return fmt.Errorf("design: negative max_candidates %d", r.Constraints.MaxCandidates)
+	}
+	if len(r.Families) == 0 {
+		return fmt.Errorf("design: empty candidate set: no families requested (known: %v)", Families())
+	}
+	for _, f := range r.Families {
+		if !knownFamily(f) {
+			return fmt.Errorf("design: unknown family %q (known: %v)", f, Families())
+		}
+	}
+	if len(r.Mappings) == 0 {
+		return fmt.Errorf("design: empty candidate set: no mappings requested (known: %v)", core.MappingNames())
+	}
+	for _, m := range r.Mappings {
+		if !knownMapping(m) {
+			return fmt.Errorf("design: unknown mapping %q (known: %v)", m, core.MappingNames())
+		}
+	}
+	if r.Weights.Hops < 0 || r.Weights.Makespan < 0 || r.Weights.Cost < 0 {
+		return fmt.Errorf("design: negative score weights %+v", r.Weights)
+	}
+	return nil
+}
+
+func knownFamily(name string) bool {
+	for _, f := range Families() {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+func knownMapping(name string) bool {
+	for _, m := range core.MappingNames() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Row is one ranked candidate of the design sheet: a topology
+// configuration under one mapping strategy with its full metric block.
+type Row struct {
+	// Rank is the 1-based position after sorting by (Score, Name).
+	Rank int `json:"rank"`
+	// Name identifies the candidate, e.g. "torus(8,8,8)+greedy".
+	Name    string          `json:"name"`
+	Family  string          `json:"family"`
+	Label   string          `json:"label"`
+	Mapping string          `json:"mapping"`
+	Config  topology.Config `json:"config"`
+	Nodes   int             `json:"nodes"`
+
+	// Cost is the shared hardware cost model; CostUnits is its scalar
+	// collapse used by the score.
+	Cost      topology.Cost `json:"cost"`
+	CostUnits float64       `json:"cost_units"`
+
+	// Static model metrics (netmodel): traffic-weighted hops under the
+	// mapping, link utilization over the used links, and the share of
+	// messages crossing global links.
+	AvgHops          float64 `json:"avg_hops"`
+	UtilizationPct   float64 `json:"utilization_pct"`
+	UtilizationValid bool    `json:"utilization_valid"`
+	GlobalMsgShare   float64 `json:"global_msg_share"`
+
+	// Topology-intrinsic path statistics over all node pairs (uniform
+	// traffic): the mean path length Deng et al. minimize, and the
+	// diameter over endpoints.
+	MeanPathLength float64 `json:"mean_path_length"`
+	MaxHops        int     `json:"max_hops"`
+
+	// Flow-level simulation metrics (simnet): end-to-end makespan and
+	// the measured mean link-busy share over it.
+	MakespanSec       float64 `json:"makespan_s"`
+	SimUtilizationPct float64 `json:"sim_utilization_pct"`
+
+	// Score is the weighted sum of best-normalized avg hops, makespan,
+	// and cost units; lower is better.
+	Score float64 `json:"score"`
+}
+
+// Sheet is the result of one search: the canonicalized request echo plus
+// the ranked candidate rows.
+type Sheet struct {
+	App         string      `json:"app"`
+	Ranks       int         `json:"ranks"`
+	Families    []string    `json:"families"`
+	Mappings    []string    `json:"mappings"`
+	Constraints Constraints `json:"constraints"`
+	Weights     Weights     `json:"weights"`
+	// Configs counts the enumerated configurations; Filtered counts
+	// those the switch/link cost caps rejected after building.
+	Configs  int   `json:"configs"`
+	Filtered int   `json:"filtered"`
+	Rows     []Row `json:"rows"`
+}
+
+// Best returns the top-ranked row (nil for an empty sheet, which Search
+// never returns).
+func (s *Sheet) Best() *Row {
+	if s == nil || len(s.Rows) == 0 {
+		return nil
+	}
+	return &s.Rows[0]
+}
+
+// Candidates enumerates the constraint-feasible configurations for the
+// requested families in deterministic order: families in the given
+// order, configurations within a family sorted by (nodes, parameters).
+func Candidates(ranks int, families []string, c Constraints) ([]topology.Config, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("design: non-positive node count %d", ranks)
+	}
+	var out []topology.Config
+	for _, fam := range families {
+		switch fam {
+		case "torus":
+			out = append(out, gridConfigs("torus", ranks, c)...)
+		case "mesh":
+			out = append(out, gridConfigs("mesh", ranks, c)...)
+		case "fattree":
+			out = append(out, fatTreeConfigs(ranks, c)...)
+		case "dragonfly":
+			out = append(out, dragonflyConfigs(ranks, c)...)
+		default:
+			return nil, fmt.Errorf("design: unknown family %q (known: %v)", fam, Families())
+		}
+	}
+	return out, nil
+}
+
+// gridConfigs enumerates 3D grids x >= y >= z with x*y*z >= ranks and at
+// most 2x overprovisioning, smallest volume (then most cubic) first.
+// Torus/mesh routers need 6 neighbor ports plus the injection port, so
+// the family is infeasible under a radix cap below 7.
+func gridConfigs(kind string, ranks int, c Constraints) []topology.Config {
+	if c.maxRadix() < 7 {
+		return nil
+	}
+	type dims struct{ x, y, z int }
+	seen := map[dims]bool{}
+	var all []dims
+	for z := 1; z*z*z <= 2*ranks; z++ {
+		for y := z; y*y*z <= 2*ranks; y++ {
+			// Smallest x >= y covering the ranks.
+			x := (ranks + y*z - 1) / (y * z)
+			if x < y {
+				x = y
+			}
+			vol := x * y * z
+			if vol > 2*ranks {
+				continue
+			}
+			d := dims{x, y, z}
+			if !seen[d] {
+				seen[d] = true
+				all = append(all, d)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		vi, vj := all[i].x*all[i].y*all[i].z, all[j].x*all[j].y*all[j].z
+		if vi != vj {
+			return vi < vj
+		}
+		if all[i].x != all[j].x {
+			return all[i].x < all[j].x
+		}
+		if all[i].y != all[j].y {
+			return all[i].y < all[j].y
+		}
+		return all[i].z < all[j].z
+	})
+	if len(all) > c.maxCandidates() {
+		all = all[:c.maxCandidates()]
+	}
+	out := make([]topology.Config, 0, len(all))
+	for _, d := range all {
+		out = append(out, topology.Config{
+			Kind: kind, Size: ranks, Nodes: d.x * d.y * d.z, X: d.x, Y: d.y, Z: d.z,
+		})
+	}
+	return out
+}
+
+// fatTreeRadixLadder are the switch radices the fat-tree sweep tries
+// (common commercial port counts).
+var fatTreeRadixLadder = []int{4, 8, 12, 16, 24, 32, 48, 64}
+
+// fatTreeConfigs enumerates the smallest covering fat tree per feasible
+// radix (Solnushkin's design space: radix and stage count), sorted by
+// (nodes, radix).
+func fatTreeConfigs(ranks int, c Constraints) []topology.Config {
+	var out []topology.Config
+	for _, radix := range fatTreeRadixLadder {
+		if radix > c.maxRadix() {
+			continue
+		}
+		d := radix / 2
+		var stages, nodes int
+		switch {
+		case ranks <= radix:
+			stages, nodes = 1, radix
+		case ranks <= d*d:
+			stages, nodes = 2, d*d
+		case ranks <= d*d*d:
+			stages, nodes = 3, d*d*d
+		default:
+			continue // radix too small for <= 3 stages
+		}
+		if nodes > maxNodeSlack*ranks && stages > 1 {
+			continue
+		}
+		out = append(out, topology.Config{
+			Kind: "fattree", Size: ranks, Nodes: nodes, Radix: radix, Stages: stages,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nodes != out[j].Nodes {
+			return out[i].Nodes < out[j].Nodes
+		}
+		return out[i].Radix < out[j].Radix
+	})
+	if len(out) > c.maxCandidates() {
+		out = out[:c.maxCandidates()]
+	}
+	return out
+}
+
+// dragonflyConfigs enumerates near-balanced dragonflies (a ≈ 2h, p ≈ h,
+// Kim's balancing rule) whose router radix p+(a-1)+h fits the cap and
+// whose node count covers the ranks without gross overprovisioning,
+// sorted by (nodes, a, h, p).
+func dragonflyConfigs(ranks int, c Constraints) []topology.Config {
+	var out []topology.Config
+	for a := 2; a <= 24; a++ {
+		for h := 1; h <= a; h++ {
+			if d := a - 2*h; d < -2 || d > 2 {
+				continue // keep near-balanced: a ≈ 2h
+			}
+			for p := h; p <= h+1; p++ {
+				radix := p + (a - 1) + h
+				if radix > c.maxRadix() {
+					continue
+				}
+				nodes := a * p * (a*h + 1)
+				if nodes < ranks || nodes > maxNodeSlack*ranks {
+					continue
+				}
+				out = append(out, topology.Config{
+					Kind: "dragonfly", Size: ranks, Nodes: nodes, A: a, H: h, P: p,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nodes != out[j].Nodes {
+			return out[i].Nodes < out[j].Nodes
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		if out[i].H != out[j].H {
+			return out[i].H < out[j].H
+		}
+		return out[i].P < out[j].P
+	})
+	if len(out) > c.maxCandidates() {
+		out = out[:c.maxCandidates()]
+	}
+	return out
+}
+
+// Engine plumbing mirroring core.Options' unexported helpers: one shared
+// token budget across the config fan-out, sequential when Parallelism=1.
+
+func optWorkers(o core.Options) int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func withEngine(o core.Options) core.Options {
+	if o.Budget == nil && optWorkers(o) > 1 {
+		o.Budget = parallel.NewBudget(optWorkers(o) - 1)
+	}
+	return o
+}
+
+func optRunner(o core.Options) parallel.Runner {
+	if optWorkers(o) <= 1 || o.Budget == nil {
+		return parallel.Seq()
+	}
+	return parallel.Shared(o.Budget, optWorkers(o))
+}
+
+// Search runs the design search to completion. See SearchContext.
+func Search(req Request, opts core.Options) (*Sheet, error) {
+	return SearchContext(context.Background(), req, opts)
+}
+
+// configOutcome is the per-configuration fan-out result: either the
+// mapping rows or a filtered marker (cost caps exceeded).
+type configOutcome struct {
+	rows     []Row
+	filtered bool
+}
+
+// SearchContext enumerates, evaluates, and ranks the candidate space.
+// Cancelling the context stops the sweep at the next configuration
+// boundary and returns the context error; worker tokens drawn from the
+// options' budget are released before it returns.
+func SearchContext(ctx context.Context, req Request, opts core.Options) (*Sheet, error) {
+	req = req.withDefaults()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	opts = withEngine(opts)
+
+	t, err := resolveTrace(req, opts)
+	if err != nil {
+		return nil, err
+	}
+	sp := opts.Span.Start("accumulate")
+	sp.Add("events", int64(len(t.Events)))
+	acc, err := comm.AccumulateParallel(t,
+		comm.AccumulateOptions{PacketSize: opts.PacketSize, Strategy: opts.Strategy}, optRunner(opts))
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+
+	cfgs, err := Candidates(req.Ranks, req.Families, req.Constraints)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("%w: no configuration in families %v covers %d nodes under max_radix %d",
+			ErrNoCandidates, req.Families, req.Ranks, req.Constraints.maxRadix())
+	}
+
+	total := len(cfgs)
+	outcomes := make([]configOutcome, total)
+	var done atomic.Int64
+	err = optRunner(opts).ForEachErr(total, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		oc, err := evaluateConfig(ctx, cfgs[i], req, t, acc, opts)
+		if err != nil {
+			return fmt.Errorf("design: %s%s: %w", cfgs[i].Kind, cfgs[i], err)
+		}
+		outcomes[i] = oc
+		d := int(done.Add(1))
+		if req.Progress != nil {
+			req.Progress(d, total)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sheet := &Sheet{
+		App:         t.Meta.App,
+		Ranks:       req.Ranks,
+		Families:    req.Families,
+		Mappings:    req.Mappings,
+		Constraints: req.Constraints,
+		Weights:     req.Weights,
+		Configs:     total,
+	}
+	for _, oc := range outcomes {
+		if oc.filtered {
+			sheet.Filtered++
+			continue
+		}
+		sheet.Rows = append(sheet.Rows, oc.rows...)
+	}
+	if len(sheet.Rows) == 0 {
+		return nil, fmt.Errorf("%w: all %d enumerated configurations exceed the cost caps (max_switches=%d, max_links=%d)",
+			ErrNoCandidates, total, req.Constraints.MaxSwitches, req.Constraints.MaxLinks)
+	}
+	rankRows(sheet.Rows, req.Weights)
+	opts.Span.Add("design_configs", int64(total))
+	opts.Span.Add("design_candidates", int64(len(sheet.Rows)))
+	return sheet, nil
+}
+
+// evaluateConfig builds one configuration, prices it, filters it against
+// the cost caps, and scores it under every requested mapping. The per-
+// config work is fully sequential so the parallel fan-out above stays
+// index-deterministic.
+func evaluateConfig(ctx context.Context, cfg topology.Config, req Request, t *trace.Trace, acc *comm.Accumulated, opts core.Options) (configOutcome, error) {
+	span := opts.Span.Start("candidate")
+	span.SetLabel(cfg.Kind + cfg.String())
+	defer span.End()
+
+	topo, err := cfg.Build()
+	if err != nil {
+		return configOutcome{}, err
+	}
+	cost := topology.CostOf(topo)
+	if (req.Constraints.MaxSwitches > 0 && cost.Switches > req.Constraints.MaxSwitches) ||
+		(req.Constraints.MaxLinks > 0 && cost.Links > req.Constraints.MaxLinks) {
+		span.Add("filtered", 1)
+		return configOutcome{filtered: true}, nil
+	}
+	mpl, maxHops := pathStats(topo)
+
+	rows := make([]Row, 0, len(req.Mappings))
+	for _, mapName := range req.Mappings {
+		if err := ctx.Err(); err != nil {
+			return configOutcome{}, err
+		}
+		mp, err := core.BuildMapping(mapName, acc, topo)
+		if err != nil {
+			return configOutcome{}, fmt.Errorf("mapping %s: %w", mapName, err)
+		}
+		nm, err := netmodel.Run(acc.Wire, topo, mp, netmodel.Options{
+			BandwidthBytesPerSec: opts.BandwidthBytesPerSec,
+			WallTime:             acc.Meta.WallTime,
+			TrackLinks:           true,
+		})
+		if err != nil {
+			return configOutcome{}, fmt.Errorf("netmodel under %s: %w", mapName, err)
+		}
+		sim, err := simnet.Simulate(t, topo, mp, simnet.Options{
+			BandwidthBytesPerSec: opts.BandwidthBytesPerSec,
+			PacketBytes:          opts.PacketSize,
+		})
+		if err != nil {
+			return configOutcome{}, fmt.Errorf("simnet under %s: %w", mapName, err)
+		}
+		span.Add("packets", int64(nm.Packets))
+		span.Add("sim_messages", int64(sim.Messages))
+		rows = append(rows, Row{
+			Name:              cfg.Kind + cfg.String() + "+" + mapName,
+			Family:            cfg.Kind,
+			Label:             cfg.String(),
+			Mapping:           mapName,
+			Config:            cfg,
+			Nodes:             topo.Nodes(),
+			Cost:              cost,
+			CostUnits:         cost.Units(),
+			AvgHops:           nm.AvgHops,
+			UtilizationPct:    nm.UtilizationPct,
+			UtilizationValid:  nm.UtilizationValid,
+			GlobalMsgShare:    nm.GlobalMsgShare,
+			MeanPathLength:    mpl,
+			MaxHops:           maxHops,
+			MakespanSec:       sim.Makespan,
+			SimUtilizationPct: sim.MeasuredUtilizationPct,
+		})
+	}
+	return configOutcome{rows: rows}, nil
+}
+
+// pathStats computes the mean path length and diameter over all ordered
+// compute-node pairs (uniform traffic, the objective of the minimal-MPL
+// search). Hop counts are analytic, so this is cheap even for the
+// largest enumerated candidates.
+func pathStats(topo topology.Topology) (mpl float64, maxHops int) {
+	n := topo.Nodes()
+	if n < 2 {
+		return 0, 0
+	}
+	var total uint64
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			h := topo.HopCount(s, d)
+			total += uint64(h)
+			if h > maxHops {
+				maxHops = h
+			}
+		}
+	}
+	return float64(total) / float64(n*(n-1)), maxHops
+}
+
+// rankRows scores every row against the sheet's best values, sorts by
+// (score, name) — the pinned tie-break — and assigns 1-based ranks. The
+// minima and the score loop run in slice order, so the ranking is
+// deterministic for a deterministic row set.
+func rankRows(rows []Row, w Weights) {
+	minHops, minMakespan, minCost := 0.0, 0.0, 0.0
+	for _, r := range rows {
+		if r.AvgHops > 0 && (minHops == 0 || r.AvgHops < minHops) {
+			minHops = r.AvgHops
+		}
+		if r.MakespanSec > 0 && (minMakespan == 0 || r.MakespanSec < minMakespan) {
+			minMakespan = r.MakespanSec
+		}
+		if r.CostUnits > 0 && (minCost == 0 || r.CostUnits < minCost) {
+			minCost = r.CostUnits
+		}
+	}
+	norm := func(v, min float64) float64 {
+		if v <= 0 || min <= 0 {
+			return 0
+		}
+		return v / min
+	}
+	for i := range rows {
+		rows[i].Score = w.Hops*norm(rows[i].AvgHops, minHops) +
+			w.Makespan*norm(rows[i].MakespanSec, minMakespan) +
+			w.Cost*norm(rows[i].CostUnits, minCost)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Score != rows[j].Score {
+			return rows[i].Score < rows[j].Score
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+}
+
+// CanonicalKey renders a canonicalized request as a stable string for
+// result caching: equivalent requests (defaults filled in) share a key.
+func (r Request) CanonicalKey() string {
+	r = r.withDefaults()
+	return fmt.Sprintf("design?app=%s&ranks=%d&families=%s&mappings=%s&radix=%d&switches=%d&links=%d&cand=%d&w=%g,%g,%g",
+		strings.ToLower(r.App), r.Ranks,
+		strings.Join(r.Families, ","), strings.Join(r.Mappings, ","),
+		r.Constraints.maxRadix(), r.Constraints.MaxSwitches, r.Constraints.MaxLinks,
+		r.Constraints.maxCandidates(), r.Weights.Hops, r.Weights.Makespan, r.Weights.Cost)
+}

@@ -1,0 +1,339 @@
+package design
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"netloc/internal/core"
+	"netloc/internal/trace"
+)
+
+// smallRequest is the shared search fixture: small enough to keep the
+// sweep fast, large enough to admit all four families.
+func smallRequest() Request {
+	return Request{
+		App:   "milc",
+		Ranks: 64,
+		Constraints: Constraints{
+			MaxCandidates: 2,
+		},
+	}
+}
+
+func mustSearch(t *testing.T, req Request, opts core.Options) *Sheet {
+	t.Helper()
+	sheet, err := Search(req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sheet
+}
+
+// TestSearchDeterministicAcrossWorkers is the core determinism claim:
+// the ranked sheet is byte-identical at -j 1, 4, and 16.
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 4, 16} {
+		sheet := mustSearch(t, smallRequest(), core.Options{Parallelism: workers})
+		got, err := json.Marshal(sheet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("sheet bytes differ between worker counts:\n-j1: %s\n-j%d: %s", want, workers, got)
+		}
+	}
+}
+
+// TestSearchCoversFamiliesAndMappings checks the acceptance shape: every
+// requested family appears in the ranked rows, every row carries both
+// mappings, and the metric block is populated.
+func TestSearchCoversFamiliesAndMappings(t *testing.T) {
+	sheet := mustSearch(t, smallRequest(), core.Options{})
+	families := map[string]bool{}
+	mappings := map[string]bool{}
+	for _, r := range sheet.Rows {
+		families[r.Family] = true
+		mappings[r.Mapping] = true
+		if r.AvgHops <= 0 {
+			t.Errorf("%s: avg hops %g not populated", r.Name, r.AvgHops)
+		}
+		if r.MakespanSec <= 0 {
+			t.Errorf("%s: makespan %g not populated", r.Name, r.MakespanSec)
+		}
+		if r.Cost.Switches <= 0 || r.Cost.Links <= 0 || r.CostUnits <= 0 {
+			t.Errorf("%s: cost %+v not populated", r.Name, r.Cost)
+		}
+		if r.MeanPathLength <= 0 || r.MaxHops <= 0 {
+			t.Errorf("%s: path stats (%g, %d) not populated", r.Name, r.MeanPathLength, r.MaxHops)
+		}
+		if r.Nodes < sheet.Ranks {
+			t.Errorf("%s: %d nodes do not cover %d ranks", r.Name, r.Nodes, sheet.Ranks)
+		}
+	}
+	for _, fam := range Families() {
+		if !families[fam] {
+			t.Errorf("family %s missing from sheet", fam)
+		}
+	}
+	for _, m := range DefaultMappings() {
+		if !mappings[m] {
+			t.Errorf("mapping %s missing from sheet", m)
+		}
+	}
+	if sheet.App != "MILC" {
+		t.Errorf("sheet app = %q, want MILC", sheet.App)
+	}
+}
+
+// TestSheetRankedAndTieBroken pins the ordering contract: rows sorted by
+// (score, name) with contiguous 1-based ranks.
+func TestSheetRankedAndTieBroken(t *testing.T) {
+	sheet := mustSearch(t, smallRequest(), core.Options{})
+	if len(sheet.Rows) < 2 {
+		t.Fatalf("want multiple rows, got %d", len(sheet.Rows))
+	}
+	for i, r := range sheet.Rows {
+		if r.Rank != i+1 {
+			t.Errorf("row %d has rank %d", i, r.Rank)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := sheet.Rows[i-1]
+		if r.Score < prev.Score {
+			t.Errorf("rows out of score order: %s (%g) after %s (%g)", r.Name, r.Score, prev.Name, prev.Score)
+		}
+		if r.Score == prev.Score && r.Name < prev.Name {
+			t.Errorf("tie not broken by name: %s after %s", r.Name, prev.Name)
+		}
+	}
+}
+
+// TestRankRowsTieBreak forces an exact tie and checks the name order.
+func TestRankRowsTieBreak(t *testing.T) {
+	rows := []Row{
+		{Name: "b", AvgHops: 2, MakespanSec: 2, CostUnits: 2},
+		{Name: "a", AvgHops: 2, MakespanSec: 2, CostUnits: 2},
+	}
+	rankRows(rows, Weights{}.withDefaults())
+	if rows[0].Name != "a" || rows[1].Name != "b" {
+		t.Fatalf("tie-break order = %s, %s; want a, b", rows[0].Name, rows[1].Name)
+	}
+	if rows[0].Score != rows[1].Score {
+		t.Fatalf("scores differ on identical metrics: %g vs %g", rows[0].Score, rows[1].Score)
+	}
+}
+
+// TestCandidatesEnumeration checks the per-family enumerators against
+// their documented bounds.
+func TestCandidatesEnumeration(t *testing.T) {
+	cfgs, err := Candidates(512, Families(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFamily := map[string]int{}
+	for _, c := range cfgs {
+		perFamily[c.Kind]++
+		if c.Nodes < 512 {
+			t.Errorf("%s%s provides %d nodes < 512 ranks", c.Kind, c, c.Nodes)
+		}
+		topo, err := c.Build()
+		if err != nil {
+			t.Errorf("%s%s does not build: %v", c.Kind, c, err)
+			continue
+		}
+		if topo.Nodes() != c.Nodes {
+			t.Errorf("%s%s built %d nodes, config says %d", c.Kind, c, topo.Nodes(), c.Nodes)
+		}
+	}
+	for _, fam := range Families() {
+		if perFamily[fam] == 0 {
+			t.Errorf("no %s candidates for 512 ranks", fam)
+		}
+		if perFamily[fam] > DefaultMaxCandidates {
+			t.Errorf("%d %s candidates exceed the %d cap", perFamily[fam], fam, DefaultMaxCandidates)
+		}
+	}
+}
+
+// TestCandidatesRespectRadix: a radix cap below 7 rules out torus/mesh
+// routers entirely, and fat trees shrink to the feasible ladder rungs.
+func TestCandidatesRespectRadix(t *testing.T) {
+	cfgs, err := Candidates(64, Families(), Constraints{MaxRadix: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cfgs {
+		switch c.Kind {
+		case "torus", "mesh":
+			t.Errorf("grid candidate %s%s enumerated under radix cap 6", c.Kind, c)
+		case "fattree":
+			if c.Radix > 6 {
+				t.Errorf("fattree radix %d exceeds cap 6", c.Radix)
+			}
+		case "dragonfly":
+			if r := c.P + (c.A - 1) + c.H; r > 6 {
+				t.Errorf("dragonfly %s radix %d exceeds cap 6", c, r)
+			}
+		}
+	}
+}
+
+// TestSearchCostCapFilters: an impossible switch budget filters every
+// candidate and surfaces ErrNoCandidates, not an empty sheet.
+func TestSearchCostCapFilters(t *testing.T) {
+	req := smallRequest()
+	req.Constraints.MaxSwitches = 1
+	_, err := Search(req, core.Options{})
+	if err == nil {
+		t.Fatal("want ErrNoCandidates, got nil")
+	}
+	if !strings.Contains(err.Error(), "no feasible candidates") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestValidateErrors walks the request validation table.
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"no app", Request{Ranks: 8}, "missing app"},
+		{"non-positive ranks", Request{App: "milc", Ranks: 0}, "non-positive node count"},
+		{"negative ranks", Request{App: "milc", Ranks: -4}, "non-positive node count"},
+		{"tiny radix", Request{App: "milc", Ranks: 8, Constraints: Constraints{MaxRadix: 2}}, "max_radix 2 too small"},
+		{"negative switches", Request{App: "milc", Ranks: 8, Constraints: Constraints{MaxSwitches: -1}}, "negative max_switches"},
+		{"empty families", Request{App: "milc", Ranks: 8, Families: []string{}}, "empty candidate set"},
+		{"unknown family", Request{App: "milc", Ranks: 8, Families: []string{"hypercube"}}, "unknown family"},
+		{"empty mappings", Request{App: "milc", Ranks: 8, Mappings: []string{}}, "empty candidate set"},
+		{"unknown mapping", Request{App: "milc", Ranks: 8, Mappings: []string{"simulated-annealing"}}, "unknown mapping"},
+		{"negative weight", Request{App: "milc", Ranks: 8, Weights: Weights{Hops: -1}}, "negative score weights"},
+	}
+	for _, tc := range cases {
+		_, err := Search(tc.req, core.Options{})
+		if err == nil {
+			t.Errorf("%s: want error containing %q, got nil", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+	// Explicitly empty sets must fail even though nil selects defaults.
+	if _, err := Search(Request{App: "milc", Ranks: 8, Families: []string{}}, core.Options{}); err == nil {
+		t.Error("explicit empty families accepted")
+	}
+}
+
+// TestSearchUnknownApp lists the admissible names.
+func TestSearchUnknownApp(t *testing.T) {
+	_, err := Search(Request{App: "doom", Ranks: 8}, core.Options{})
+	if err == nil || !strings.Contains(err.Error(), "unknown application") {
+		t.Fatalf("want unknown-application error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "milc") {
+		t.Errorf("error does not list design extras: %v", err)
+	}
+}
+
+// TestSearchRegistryAppCaseInsensitive resolves a calibrated app with
+// folded case at one of its configured scales.
+func TestSearchRegistryAppCaseInsensitive(t *testing.T) {
+	sheet := mustSearch(t, Request{
+		App:      "lulesh",
+		Ranks:    27,
+		Families: []string{"torus"},
+		Mappings: []string{core.MappingConsecutive},
+		Constraints: Constraints{
+			MaxCandidates: 1,
+		},
+	}, core.Options{})
+	if len(sheet.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(sheet.Rows))
+	}
+	if sheet.App != "LULESH" {
+		t.Errorf("sheet app = %q, want LULESH (registry spelling)", sheet.App)
+	}
+}
+
+// TestSearchAttachedTrace uses an uploaded trace as the workload.
+func TestSearchAttachedTrace(t *testing.T) {
+	tr, err := milcTrace(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sheet := mustSearch(t, Request{
+		Trace:    tr,
+		Families: []string{"fattree"},
+		Mappings: []string{core.MappingGreedy},
+	}, core.Options{})
+	if sheet.Ranks != 16 {
+		t.Errorf("sheet ranks = %d, want 16 from trace metadata", sheet.Ranks)
+	}
+}
+
+// TestMilcTraceShape checks the design-only generator: pure p2p halo
+// exchange on a 4D grid, valid against the trace model.
+func TestMilcTraceShape(t *testing.T) {
+	tr, err := milcTrace(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Ranks != 512 || tr.Meta.WallTime <= 0 {
+		t.Fatalf("bad meta %+v", tr.Meta)
+	}
+	for _, e := range tr.Events {
+		if e.Op != trace.OpSend {
+			t.Fatalf("non-p2p op %s in milc trace", e.Op)
+		}
+	}
+	// 512 = 8*4*4*4: every dim > 2, so all 8 neighbors are distinct.
+	if want := milcIterations * 512 * 8; len(tr.Events) != want {
+		t.Fatalf("milc events = %d, want %d", len(tr.Events), want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDims4 pins the factorization: near-balanced, largest first, and
+// huge primes rejected.
+func TestDims4(t *testing.T) {
+	d, err := dims4(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != [4]int{8, 4, 4, 4} {
+		t.Errorf("dims4(512) = %v, want [8 4 4 4]", d)
+	}
+	if _, err := dims4(2 * 1009); err == nil {
+		t.Error("dims4 accepted a huge prime factor")
+	}
+	d, err = dims4(1)
+	if err != nil || d != [4]int{1, 1, 1, 1} {
+		t.Errorf("dims4(1) = %v, %v", d, err)
+	}
+}
+
+// TestCanonicalKeyStable: defaults filled two ways share a cache key;
+// different constraints do not.
+func TestCanonicalKeyStable(t *testing.T) {
+	a := Request{App: "MILC", Ranks: 64}.CanonicalKey()
+	b := Request{App: "milc", Ranks: 64, Families: Families(), Mappings: DefaultMappings(),
+		Weights: Weights{1, 1, 1}}.CanonicalKey()
+	if a != b {
+		t.Errorf("equivalent requests key differently:\n%s\n%s", a, b)
+	}
+	c := Request{App: "milc", Ranks: 64, Constraints: Constraints{MaxLinks: 5}}.CanonicalKey()
+	if a == c {
+		t.Error("different constraints share a key")
+	}
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"netloc/internal/design"
+)
+
+// DesignSheet renders a ranked design sheet as an aligned table (or
+// CSV): one row per (configuration, mapping) candidate, best first,
+// with the score inputs the optimizer ranked by.
+func DesignSheet(w io.Writer, sheet *design.Sheet, csv bool) error {
+	header := []string{"rank", "candidate", "nodes", "avg hops", "max hops", "mpl",
+		"util %", "makespan s", "switches", "links", "cost", "score"}
+	rows := make([][]string, 0, len(sheet.Rows))
+	for _, r := range sheet.Rows {
+		util := "n/a"
+		if r.UtilizationValid {
+			util = fu(r.UtilizationPct)
+		}
+		rows = append(rows, []string{
+			strconv.Itoa(r.Rank),
+			r.Name,
+			strconv.Itoa(r.Nodes),
+			f2(r.AvgHops),
+			strconv.Itoa(r.MaxHops),
+			f2(r.MeanPathLength),
+			util,
+			strconv.FormatFloat(r.MakespanSec, 'g', 4, 64),
+			strconv.Itoa(r.Cost.Switches),
+			strconv.Itoa(r.Cost.Links),
+			f1(r.CostUnits),
+			f2(r.Score),
+		})
+	}
+	if csv {
+		return writeCSV(w, header, rows)
+	}
+	if _, err := fmt.Fprintf(w, "design sheet: %s @ %d ranks (%d configs enumerated, %d filtered by cost caps)\n",
+		sheet.App, sheet.Ranks, sheet.Configs, sheet.Filtered); err != nil {
+		return err
+	}
+	return writeTable(w, header, rows)
+}

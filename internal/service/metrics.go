@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"netloc/internal/design"
 	"netloc/internal/obs"
 	"netloc/internal/parallel"
 )
@@ -25,6 +26,7 @@ var queueWaitBucketsMs = []float64{0, 0.1, 1, 5, 25, 100, 500, 2500, 10000}
 // service has done, not just how many requests it served.
 var pipelineCountNames = []string{
 	"events", "shards", "peers", "packets", "packet_hops", "sim_messages", "sim_hops",
+	"design_configs", "design_candidates",
 }
 
 // endpointMetrics groups one endpoint's series.
@@ -99,6 +101,19 @@ func (m *metricsRegistry) bindEngine(b *parallel.Budget, c *lruCache, tr *obs.Tr
 	b.SetWaitObserver(func(d time.Duration) {
 		m.queueWait.Observe(float64(d) / float64(time.Millisecond))
 	})
+}
+
+// bindDesignJobs registers the design-job store's live gauges and
+// lifetime counters. Called once from New, next to bindEngine.
+func (m *metricsRegistry) bindDesignJobs(store *design.Store) {
+	m.reg.GaugeFunc("netloc_design_jobs_retained", "Design jobs currently retained (any state).",
+		func() float64 { return float64(store.Stats().Retained) })
+	m.reg.GaugeFunc("netloc_design_jobs_running", "Design jobs currently searching.",
+		func() float64 { return float64(store.Stats().Running) })
+	m.reg.CounterFunc("netloc_design_jobs_submitted_total", "Design jobs accepted over the server's lifetime.",
+		func() float64 { return float64(store.Stats().Submitted) })
+	m.reg.CounterFunc("netloc_design_jobs_completed_total", "Design jobs reaching a terminal state over the server's lifetime.",
+		func() float64 { return float64(store.Stats().Completed) })
 }
 
 // observeLatency records one request's latency in milliseconds.

@@ -29,6 +29,15 @@
 //	GET  /v1/topologies             inspect the Table 2 configurations
 //	                                for a rank count; query param: ranks
 //	POST /v1/traces/analyze         analyze an uploaded binary .nlt trace
+//	POST /v1/design                 synchronous topology design search
+//	                                (JSON body: app, ranks, families,
+//	                                mappings, constraints, weights)
+//	POST /v1/design/trace           design search over an uploaded .nlt
+//	                                trace; constraints via query params
+//	POST /v1/design/jobs            submit an async design search job
+//	GET  /v1/design/jobs            list retained design jobs
+//	GET  /v1/design/jobs/{id}       poll one job (progress, then sheet)
+//	DELETE /v1/design/jobs/{id}     cancel a running job
 //	GET  /v1/debug/runs             recent analysis runs with their
 //	                                nested stage spans (newest first)
 package service
@@ -46,6 +55,7 @@ import (
 	"time"
 
 	"netloc/internal/core"
+	"netloc/internal/design"
 	"netloc/internal/harness"
 	"netloc/internal/metrics"
 	"netloc/internal/mpi"
@@ -66,6 +76,9 @@ type Options struct {
 	Workers int
 	// MaxUploadBytes bounds POSTed trace bodies; 64 MiB when zero.
 	MaxUploadBytes int64
+	// DesignJobs bounds the async design-job store;
+	// design.DefaultJobCapacity when zero.
+	DesignJobs int
 	// Log, when set, enables structured request logging: one record per
 	// request with its request ID, endpoint, status, and latency. Nil
 	// disables logging (the default; tests and embedders stay quiet).
@@ -94,12 +107,14 @@ type Server struct {
 	budget    *parallel.Budget
 	metrics   *metricsRegistry
 	tracer    *obs.Tracer
+	jobs      *design.Store
 	requestID atomic.Int64
 }
 
 // endpointNames are the instrumentation keys of the metrics registry.
 var endpointNames = []string{
-	"healthz", "metrics", "experiments", "analyze", "topologies", "traces", "debug",
+	"healthz", "metrics", "experiments", "analyze", "topologies", "traces",
+	"design", "design_jobs", "debug",
 }
 
 // New constructs a Server with the given options.
@@ -121,7 +136,10 @@ func New(opts Options) *Server {
 		metrics: newMetricsRegistry(endpointNames),
 		tracer:  obs.NewTracer(obs.DefaultTracerRuns),
 	}
+	s.jobs = design.NewStore(opts.DesignJobs)
+	s.jobs.Search = s.designSearch
 	s.metrics.bindEngine(s.budget, s.cache, s.tracer)
+	s.metrics.bindDesignJobs(s.jobs)
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperimentList))
@@ -129,6 +147,12 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("GET /v1/topologies", s.instrument("topologies", s.handleTopologies))
 	s.mux.HandleFunc("POST /v1/traces/analyze", s.instrument("traces", s.handleTraceAnalyze))
+	s.mux.HandleFunc("POST /v1/design", s.instrument("design", s.handleDesign))
+	s.mux.HandleFunc("POST /v1/design/trace", s.instrument("design", s.handleDesignTrace))
+	s.mux.HandleFunc("POST /v1/design/jobs", s.instrument("design_jobs", s.handleDesignJobSubmit))
+	s.mux.HandleFunc("GET /v1/design/jobs", s.instrument("design_jobs", s.handleDesignJobList))
+	s.mux.HandleFunc("GET /v1/design/jobs/{id}", s.instrument("design_jobs", s.handleDesignJobGet))
+	s.mux.HandleFunc("DELETE /v1/design/jobs/{id}", s.instrument("design_jobs", s.handleDesignJobCancel))
 	s.mux.HandleFunc("GET /v1/debug/runs", s.instrument("debug", s.handleDebugRuns))
 	return s
 }

@@ -6,13 +6,15 @@ import (
 )
 
 // Config describes one topology instance selected for a given rank count,
-// mirroring a row of the paper's Table 2.
+// mirroring a row of the paper's Table 2. The "mesh" kind (a torus without
+// wraparound) is an extension used by the design optimizer's candidate
+// sweep; the paper's tables only use the other three.
 type Config struct {
-	Kind  string // "torus", "fattree", "dragonfly"
+	Kind  string // "torus", "mesh", "fattree", "dragonfly"
 	Size  int    // requested rank count
 	Nodes int    // nodes provided by the configuration
 
-	// Torus parameters.
+	// Torus/mesh parameters.
 	X, Y, Z int
 	// Fat-tree parameters.
 	Radix, Stages int
@@ -25,6 +27,8 @@ func (c Config) Build() (Topology, error) {
 	switch c.Kind {
 	case "torus":
 		return NewTorus(c.X, c.Y, c.Z)
+	case "mesh":
+		return NewMesh(c.X, c.Y, c.Z)
 	case "fattree":
 		return NewFatTree(c.Radix, c.Stages)
 	case "dragonfly":
@@ -37,7 +41,7 @@ func (c Config) Build() (Topology, error) {
 // String renders the configuration like the paper's Table 2 cells.
 func (c Config) String() string {
 	switch c.Kind {
-	case "torus":
+	case "torus", "mesh":
 		return fmt.Sprintf("(%d,%d,%d)", c.X, c.Y, c.Z)
 	case "fattree":
 		return fmt.Sprintf("(%d,%d)", c.Radix, c.Stages)

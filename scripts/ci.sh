@@ -29,8 +29,8 @@ go test -race ./...
 # with explicit worker counts > 1 so the race detector always sees the
 # concurrent paths.
 echo "=== go test -race (parallel engine, forced workers) ==="
-go test -race -run 'Parallel|Determinism|Budget|ForEach|Singleflight|Concurrent|Span|Registry' \
-    ./internal/parallel ./internal/comm ./internal/metrics ./internal/core ./internal/service ./internal/obs .
+go test -race -run 'Parallel|Determin|Budget|ForEach|Singleflight|Concurrent|Span|Registry|Job' \
+    ./internal/parallel ./internal/comm ./internal/metrics ./internal/core ./internal/service ./internal/obs ./internal/design .
 
 echo "=== examples ==="
 sh scripts/run_examples.sh
