@@ -23,6 +23,7 @@ import (
 	"netloc/internal/simnet"
 	"netloc/internal/topology"
 	"netloc/internal/trace"
+	"netloc/internal/workcache"
 	"netloc/internal/workloads"
 )
 
@@ -364,28 +365,46 @@ func TestDimensionalityConsistentWithRankDistance(t *testing.T) {
 }
 
 // TestHarnessJSONDeterministicUnderParallelism runs experiments through
-// the full harness pipeline at Parallelism 1 and 8 and requires the JSON
-// outputs to be byte-identical — the engine's determinism contract,
-// observed at the outermost user-visible layer.
+// the full harness pipeline at Parallelism 1 and 8, and across artifact
+// cache modes (disabled, cold per run, warm across runs), and requires
+// the JSON outputs to be byte-identical — the engine's determinism
+// contract, observed at the outermost user-visible layer. Cached traces
+// and matrices must never be distinguishable from fresh ones.
 func TestHarnessJSONDeterministicUnderParallelism(t *testing.T) {
+	warm := workcache.New(0)
+	caches := []struct {
+		name  string
+		cache func() *workcache.Cache
+	}{
+		{"disabled", func() *workcache.Cache { return nil }},
+		{"cold", func() *workcache.Cache { return workcache.New(0) }},
+		{"warm", func() *workcache.Cache { return warm }},
+	}
 	for _, exp := range []string{"table1", "table3", "table4", "fig3"} {
-		render := func(parallelism int) []byte {
+		render := func(parallelism int, cache *workcache.Cache) []byte {
 			t.Helper()
 			var buf bytes.Buffer
 			err := harness.Run(&buf, harness.Params{
 				Experiment: exp,
 				JSON:       true,
-				Options:    core.Options{MaxRanks: 128, Parallelism: parallelism},
+				Options:    core.Options{MaxRanks: 128, Parallelism: parallelism, Cache: cache},
 			})
 			if err != nil {
 				t.Fatalf("%s (j=%d): %v", exp, parallelism, err)
 			}
 			return buf.Bytes()
 		}
-		seq := render(1)
-		par := render(8)
-		if !bytes.Equal(seq, par) {
-			t.Errorf("%s: JSON differs between Parallelism 1 and 8", exp)
+		want := render(1, nil)
+		for _, c := range caches {
+			for _, parallelism := range []int{1, 8} {
+				got := render(parallelism, c.cache())
+				if !bytes.Equal(want, got) {
+					t.Errorf("%s: JSON differs at Parallelism %d with cache %s", exp, parallelism, c.name)
+				}
+			}
 		}
+	}
+	if s := warm.Stats(); s.Hits == 0 {
+		t.Fatalf("warm cache recorded no hits across repeated experiments: %+v", s)
 	}
 }

@@ -32,14 +32,22 @@ type Entry struct {
 	Packets  uint64
 }
 
-// Matrix is a sparse communication matrix over ranks 0..Ranks-1, stored
-// row-wise (one destination map per source rank) so that per-source
-// queries — which the rank-level metrics issue for every rank — touch only
-// that rank's partners rather than the whole pair set.
+// Matrix is a communication matrix over ranks 0..Ranks-1, stored row-wise
+// (one destination row per source rank) so that per-source queries — which
+// the rank-level metrics issue for every rank — touch only that rank's
+// partners rather than the whole pair set.
+//
+// Each row starts as a sparse destination map; once a row's population
+// crosses denseThreshold (collective expansion fills rows toward all-to-all
+// density) it is promoted to a dense per-destination slice, where an entry
+// is present iff Messages != 0. Dense rows turn the AddN hot path into an
+// array index instead of a map assignment, which is where the accumulation
+// grid spent most of its allocations.
 type Matrix struct {
 	ranks      int
 	packetSize int
-	rows       []map[int]Entry
+	sparse     []map[int]Entry
+	dense      [][]Entry
 	pairs      int
 	totalBytes uint64
 	totalMsgs  uint64
@@ -55,7 +63,28 @@ func NewMatrix(ranks, packetSize int) (*Matrix, error) {
 	if packetSize <= 0 {
 		packetSize = DefaultPacketSize
 	}
-	return &Matrix{ranks: ranks, packetSize: packetSize, rows: make([]map[int]Entry, ranks)}, nil
+	return &Matrix{ranks: ranks, packetSize: packetSize, sparse: make([]map[int]Entry, ranks), dense: make([][]Entry, ranks)}, nil
+}
+
+// denseThreshold is the row population at which a sparse row is promoted
+// to a dense slice: a quarter of the rank space, floored so tiny matrices
+// stay in cheap maps.
+func (m *Matrix) denseThreshold() int {
+	t := m.ranks / 4
+	if t < 16 {
+		t = 16
+	}
+	return t
+}
+
+// promoteRow converts a sparse row into its dense representation.
+func (m *Matrix) promoteRow(src int) {
+	d := make([]Entry, m.ranks)
+	for dst, e := range m.sparse[src] {
+		d[dst] = e
+	}
+	m.dense[src] = d
+	m.sparse[src] = nil
 }
 
 // Ranks returns the rank-space size of the matrix.
@@ -88,20 +117,33 @@ func (m *Matrix) AddN(src, dst int, bytes uint64, n uint64) error {
 	if n == 0 {
 		return nil
 	}
-	row := m.rows[src]
-	if row == nil {
-		row = make(map[int]Entry)
-		m.rows[src] = row
-	}
-	e, existed := row[dst]
-	if !existed {
-		m.pairs++
-	}
 	pkts := m.PacketsFor(bytes) * n
-	e.Bytes += bytes * n
-	e.Messages += n
-	e.Packets += pkts
-	row[dst] = e
+	if d := m.dense[src]; d != nil {
+		e := &d[dst]
+		if e.Messages == 0 {
+			m.pairs++
+		}
+		e.Bytes += bytes * n
+		e.Messages += n
+		e.Packets += pkts
+	} else {
+		row := m.sparse[src]
+		if row == nil {
+			row = make(map[int]Entry)
+			m.sparse[src] = row
+		}
+		e, existed := row[dst]
+		if !existed {
+			m.pairs++
+		}
+		e.Bytes += bytes * n
+		e.Messages += n
+		e.Packets += pkts
+		row[dst] = e
+		if len(row) >= m.denseThreshold() {
+			m.promoteRow(src)
+		}
+	}
 	m.totalBytes += bytes * n
 	m.totalMsgs += n
 	m.totalPkts += pkts
@@ -122,36 +164,97 @@ func (m *Matrix) TotalPackets() uint64 { return m.totalPkts }
 
 // Lookup returns the entry for an ordered pair, or a zero entry.
 func (m *Matrix) Lookup(src, dst int) Entry {
-	if src < 0 || src >= m.ranks {
+	if src < 0 || src >= m.ranks || dst < 0 || dst >= m.ranks {
 		return Entry{}
 	}
-	return m.rows[src][dst]
+	if d := m.dense[src]; d != nil {
+		return d[dst]
+	}
+	return m.sparse[src][dst]
 }
 
 // Each calls fn for every (pair, entry) with recorded traffic, in
 // ascending source order; destination order within a source is
 // unspecified.
 func (m *Matrix) Each(fn func(k Key, e Entry)) {
-	for src, row := range m.rows {
-		for dst, e := range row {
+	for src := 0; src < m.ranks; src++ {
+		m.EachDst(src, func(dst int, e Entry) {
 			fn(Key{Src: src, Dst: dst}, e)
-		}
+		})
 	}
+}
+
+// EachDst calls fn for every recorded destination of the given source
+// rank; destination order is unspecified. It is the allocation-free
+// alternative to BySource for callers that stream rather than slice.
+func (m *Matrix) EachDst(src int, fn func(dst int, e Entry)) {
+	if src < 0 || src >= m.ranks {
+		return
+	}
+	if d := m.dense[src]; d != nil {
+		for dst := range d {
+			if d[dst].Messages != 0 {
+				fn(dst, d[dst])
+			}
+		}
+		return
+	}
+	for dst, e := range m.sparse[src] {
+		fn(dst, e)
+	}
+}
+
+// RowLen returns the number of destinations with recorded traffic for the
+// given source rank — the pre-sizing hint for per-row scratch buffers.
+func (m *Matrix) RowLen(src int) int {
+	if src < 0 || src >= m.ranks {
+		return 0
+	}
+	if d := m.dense[src]; d != nil {
+		n := 0
+		for dst := range d {
+			if d[dst].Messages != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	return len(m.sparse[src])
 }
 
 // BySource returns, for the given source rank, the destination ranks it
 // sends to and the per-destination byte volumes (parallel slices, order
 // unspecified).
 func (m *Matrix) BySource(src int) (dsts []int, vols []float64) {
+	return m.AppendBySource(src, nil, nil)
+}
+
+// AppendBySource appends the destination ranks and per-destination byte
+// volumes of src onto the given slices (which may be nil) and returns
+// them, letting per-rank metric loops reuse scratch buffers instead of
+// allocating a fresh pair per rank. When the row is empty the inputs are
+// returned unchanged, so a nil-in/nil-out call matches BySource.
+func (m *Matrix) AppendBySource(src int, dsts []int, vols []float64) ([]int, []float64) {
 	if src < 0 || src >= m.ranks {
-		return nil, nil
+		return dsts, vols
 	}
-	row := m.rows[src]
+	if d := m.dense[src]; d != nil {
+		for dst := range d {
+			if d[dst].Messages != 0 {
+				dsts = append(dsts, dst)
+				vols = append(vols, float64(d[dst].Bytes))
+			}
+		}
+		return dsts, vols
+	}
+	row := m.sparse[src]
 	if len(row) == 0 {
-		return nil, nil
+		return dsts, vols
 	}
-	dsts = make([]int, 0, len(row))
-	vols = make([]float64, 0, len(row))
+	if dsts == nil {
+		dsts = make([]int, 0, len(row))
+		vols = make([]float64, 0, len(row))
+	}
 	for dst, e := range row {
 		dsts = append(dsts, dst)
 		vols = append(vols, float64(e.Bytes))
@@ -173,14 +276,46 @@ func (m *Matrix) Merge(other *Matrix) error {
 	if other.packetSize != m.packetSize {
 		return fmt.Errorf("comm: merge packet-size mismatch: %d vs %d", other.packetSize, m.packetSize)
 	}
-	for src, srow := range other.rows {
+	for src := 0; src < m.ranks; src++ {
+		if od := other.dense[src]; od != nil {
+			// A dense incoming row makes the merged row at least as
+			// dense; promote before the vector add.
+			if m.dense[src] == nil {
+				m.promoteRow(src)
+			}
+			d := m.dense[src]
+			for dst := range od {
+				if od[dst].Messages == 0 {
+					continue
+				}
+				if d[dst].Messages == 0 {
+					m.pairs++
+				}
+				d[dst].Bytes += od[dst].Bytes
+				d[dst].Messages += od[dst].Messages
+				d[dst].Packets += od[dst].Packets
+			}
+			continue
+		}
+		srow := other.sparse[src]
 		if len(srow) == 0 {
 			continue
 		}
-		row := m.rows[src]
+		if d := m.dense[src]; d != nil {
+			for dst, e := range srow {
+				if d[dst].Messages == 0 {
+					m.pairs++
+				}
+				d[dst].Bytes += e.Bytes
+				d[dst].Messages += e.Messages
+				d[dst].Packets += e.Packets
+			}
+			continue
+		}
+		row := m.sparse[src]
 		if row == nil {
 			row = make(map[int]Entry, len(srow))
-			m.rows[src] = row
+			m.sparse[src] = row
 		}
 		for dst, e := range srow {
 			cur, existed := row[dst]
@@ -191,6 +326,9 @@ func (m *Matrix) Merge(other *Matrix) error {
 			cur.Messages += e.Messages
 			cur.Packets += e.Packets
 			row[dst] = cur
+		}
+		if len(row) >= m.denseThreshold() {
+			m.promoteRow(src)
 		}
 	}
 	m.totalBytes += other.totalBytes

@@ -394,3 +394,75 @@ func TestAccumulateReportsShards(t *testing.T) {
 		t.Errorf("short-trace fallback shards = %d, want 1", short.Shards)
 	}
 }
+
+// TestRowAccessorsAgreeAcrossRepresentations drives the same random
+// matrix through the streaming accessors (EachDst, RowLen,
+// AppendBySource) and the reference ones (Each, BySource), on both
+// sides of the dense-promotion threshold: hot rows (promoted to the
+// dense slice) and sparse rows must report identical contents.
+func TestRowAccessorsAgreeAcrossRepresentations(t *testing.T) {
+	const ranks = 96 // threshold = 24: rows below stay sparse, above go dense
+	m := mustMatrix(t, ranks, 0)
+	rng := rand.New(rand.NewSource(7))
+	for src := 0; src < ranks; src++ {
+		dsts := 3 + rng.Intn(8) // sparse
+		if src%2 == 0 {
+			dsts = 30 + rng.Intn(40) // past the threshold: promoted
+		}
+		for j := 0; j < dsts; j++ {
+			dst := rng.Intn(ranks)
+			if dst == src {
+				continue
+			}
+			if err := m.Add(src, dst, uint64(1+rng.Intn(1<<16))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Reference: every pair seen by Each, grouped by source.
+	type row map[int]Entry
+	want := make([]row, ranks)
+	for i := range want {
+		want[i] = row{}
+	}
+	m.Each(func(k Key, e Entry) { want[k.Src][k.Dst] = e })
+
+	scratchD, scratchV := make([]int, 0, ranks), make([]float64, 0, ranks)
+	for src := 0; src < ranks; src++ {
+		got := row{}
+		m.EachDst(src, func(dst int, e Entry) {
+			if _, dup := got[dst]; dup {
+				t.Fatalf("src %d: EachDst visited dst %d twice", src, dst)
+			}
+			got[dst] = e
+		})
+		if len(got) != len(want[src]) {
+			t.Fatalf("src %d: EachDst saw %d dsts, Each saw %d", src, len(got), len(want[src]))
+		}
+		for dst, e := range want[src] {
+			if got[dst] != e {
+				t.Fatalf("src %d->%d: EachDst entry %+v != Each entry %+v", src, dst, got[dst], e)
+			}
+		}
+		if n := m.RowLen(src); n != len(want[src]) {
+			t.Fatalf("src %d: RowLen = %d, want %d", src, n, len(want[src]))
+		}
+
+		bd, bv := m.BySource(src)
+		ad, av := m.AppendBySource(src, scratchD[:0], scratchV[:0])
+		if len(ad) != len(bd) || len(av) != len(bv) {
+			t.Fatalf("src %d: AppendBySource lengths (%d,%d) != BySource (%d,%d)",
+				src, len(ad), len(av), len(bd), len(bv))
+		}
+		bySrc := map[int]float64{}
+		for i, d := range bd {
+			bySrc[d] = bv[i]
+		}
+		for i, d := range ad {
+			if bySrc[d] != av[i] {
+				t.Fatalf("src %d dst %d: AppendBySource vol %g != BySource %g", src, d, av[i], bySrc[d])
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"netloc/internal/parallel"
 	"netloc/internal/topology"
 	"netloc/internal/trace"
+	"netloc/internal/workcache"
 	"netloc/internal/workloads"
 )
 
@@ -60,6 +61,17 @@ type Options struct {
 	// the same pool instead of oversubscribing. Nil means a private
 	// budget per top-level analysis call.
 	Budget *parallel.Budget
+	// Cache optionally shares a workload artifact cache across analyses:
+	// generated traces and accumulated matrices are memoized per
+	// (app, ranks, accumulate options), so the experiment drivers, the
+	// design sweep, and the service re-derive each artifact once instead
+	// of once per grid cell. Cached artifacts are shared read-only and
+	// results are byte-identical with the cache cold, warm, or nil
+	// (disabled), so — like Parallelism — the cache never belongs in a
+	// result-cache key. Uploaded traces (AnalyzeTrace) are deliberately
+	// never cached: their content is caller-controlled and must not
+	// satisfy later registry lookups.
+	Cache *workcache.Cache
 	// Span optionally attaches an observability span: the pipeline
 	// records each stage (generate, accumulate, mpi_metrics, mapping,
 	// netmodel, simnet) as a child with its duration and work counts,
@@ -168,20 +180,33 @@ type Analysis struct {
 
 // AnalyzeTrace runs the full pipeline on a materialized trace. Long
 // event streams are accumulated in shards across the options' worker
-// budget and merged; the matrices are exact sums either way.
+// budget and merged; the matrices are exact sums either way. The trace
+// is treated as caller-supplied: it is never read from or written to
+// Options.Cache, so an uploaded trace claiming a registry app's name
+// cannot poison later registry analyses.
 func AnalyzeTrace(t *trace.Trace, opts Options) (*Analysis, error) {
 	opts = opts.withEngine()
+	acc, err := accumulate(t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeAccumulated(acc, opts)
+}
+
+// accumulate expands and packetizes a trace into the communication
+// matrices under a stage span. The span ends on every path (a failing
+// expansion must not leave an unterminated span in the debug ring).
+func accumulate(t *trace.Trace, opts Options) (*comm.Accumulated, error) {
 	sp := opts.Span.Start("accumulate")
+	defer sp.End()
 	sp.Add("events", int64(len(t.Events)))
 	acc, err := comm.AccumulateParallel(t,
 		comm.AccumulateOptions{PacketSize: opts.PacketSize, Strategy: opts.Strategy}, opts.runner())
 	if err != nil {
-		sp.End()
 		return nil, err
 	}
 	sp.Add("shards", int64(acc.Shards))
-	sp.End()
-	return AnalyzeAccumulated(acc, opts)
+	return acc, nil
 }
 
 // AnalyzeAccumulated runs the pipeline on pre-accumulated matrices.
@@ -323,7 +348,7 @@ func ConfigFor(kind string, ranks int) (topology.Config, error) {
 }
 
 func runTopology(acc *comm.Accumulated, cfg topology.Config, mappingName string, opts Options, parent *obs.Span) (*TopoResult, error) {
-	topo, err := cfg.Build()
+	topo, err := opts.Cache.Topology(cfg, cfg.Build)
 	if err != nil {
 		return nil, err
 	}
@@ -408,22 +433,55 @@ func AnalyzeAppOn(name string, ranks int, topoKind, mappingName string, opts Opt
 }
 
 // AnalyzeApp generates the synthetic trace for a workload configuration
-// and analyzes it.
+// and analyzes it. With Options.Cache attached both the generated trace
+// and the accumulated matrices are memoized, so a warm analysis skips
+// straight to the metric and topology stages.
 func AnalyzeApp(name string, ranks int, opts Options) (*Analysis, error) {
 	app, err := workloads.Lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	sp := opts.Span.Start("generate")
-	sp.SetLabel(fmt.Sprintf("%s/%d", name, ranks))
-	t, err := app.Generate(ranks)
+	opts = opts.withEngine()
+	acc, err := opts.Cache.Accumulated(opts.accKey(app.Name, ranks), func() (*comm.Accumulated, error) {
+		t, err := generateTrace(app, ranks, opts)
+		if err != nil {
+			return nil, err
+		}
+		return accumulate(t, opts)
+	})
 	if err != nil {
-		sp.End()
 		return nil, err
 	}
-	sp.Add("events", int64(len(t.Events)))
-	sp.End()
-	return AnalyzeTrace(t, opts)
+	return AnalyzeAccumulated(acc, opts)
+}
+
+// accKey addresses an app's accumulated matrices in the artifact cache:
+// the registry generator plus the two options that change matrix
+// content (packet size, collective strategy). Coverage, parallelism,
+// budgets, and spans never do and stay out.
+func (o Options) accKey(app string, ranks int) workcache.AccKey {
+	return workcache.AccKey{
+		Source: workcache.SourceGenerate, App: app, Ranks: ranks,
+		PacketSize: o.PacketSize, Strategy: o.Strategy,
+	}
+}
+
+// generateTrace runs (or re-uses the cached result of) a registry app's
+// exact-scale generator under a "generate" stage span. The span ends on
+// every path, including a failing generator.
+func generateTrace(app *workloads.App, ranks int, opts Options) (*trace.Trace, error) {
+	k := workcache.TraceKey{Source: workcache.SourceGenerate, App: app.Name, Ranks: ranks}
+	return opts.Cache.Trace(k, func() (*trace.Trace, error) {
+		sp := opts.Span.Start("generate")
+		defer sp.End()
+		sp.SetLabel(fmt.Sprintf("%s/%d", app.Name, ranks))
+		t, err := app.Generate(ranks)
+		if err != nil {
+			return nil, err
+		}
+		sp.Add("events", int64(len(t.Events)))
+		return t, nil
+	})
 }
 
 // ErrNoSuchExperiment is returned by RunExperiment for unknown IDs.

@@ -63,14 +63,12 @@ func Table1(opts Options) ([]Table1Row, error) {
 		cell := opts.Span.Start("cell")
 		cell.SetLabel(fmt.Sprintf("%s/%d", app.Name, ranks))
 		defer cell.End()
-		gsp := cell.Start("generate")
-		t, err := app.Generate(ranks)
+		o := opts
+		o.Span = cell
+		t, err := generateTrace(app, ranks, o)
 		if err != nil {
-			gsp.End()
 			return Table1Row{}, err
 		}
-		gsp.Add("events", int64(len(t.Events)))
-		gsp.End()
 		p2p, coll := t.TotalBytes()
 		total := float64(p2p + coll)
 		row := Table1Row{
@@ -243,11 +241,18 @@ type Figure3Curve struct {
 // largest configuration (the paper plots all workloads in one figure).
 // Workloads fan out over the worker budget; pure-collective workloads
 // are filtered in table order after the parallel phase.
+//
+// A workload whose smallest configuration exceeds Options.MaxRanks is
+// omitted from the figure (the paper's figure simply has no curve for a
+// scale the grid does not reach); when the cap excludes every workload
+// the call fails with an error listing the smallest admissible cap
+// instead of returning a silently empty figure.
 func Figure3(opts Options) ([]Figure3Curve, error) {
 	opts = opts.withEngine()
 	o := opts
 	o.SkipTopologies = true
 	var refs []WorkloadRef
+	smallest := 0
 	for _, app := range workloads.All() {
 		ranks := 0
 		for _, r := range app.RankCounts() {
@@ -255,9 +260,16 @@ func Figure3(opts Options) ([]Figure3Curve, error) {
 				ranks = r // largest configuration under the cap
 			}
 		}
+		if min := app.RankCounts()[0]; smallest == 0 || min < smallest {
+			smallest = min
+		}
 		if ranks > 0 {
 			refs = append(refs, WorkloadRef{App: app.Name, Ranks: ranks})
 		}
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("core: MaxRanks %d excludes every workload configuration (smallest configured scale: %d ranks)",
+			opts.MaxRanks, smallest)
 	}
 	curves, err := runGrid(opts.runner(), len(refs), func(i int) (*Figure3Curve, error) {
 		ref := refs[i]
@@ -294,7 +306,10 @@ func Figure3(opts Options) ([]Figure3Curve, error) {
 }
 
 // Figure4 computes the selectivity-scaling curves of one application
-// across all its configurations (the paper shows AMG).
+// across all its configurations (the paper shows AMG). A MaxRanks cap
+// below the app's smallest configuration is an error listing the
+// configured scales — the caller asked for this specific app, so an
+// empty figure would silently hide the mismatch.
 func Figure4(appName string, opts Options) ([]Figure3Curve, error) {
 	app, err := workloads.Lookup(appName)
 	if err != nil {
@@ -308,6 +323,10 @@ func Figure4(appName string, opts Options) ([]Figure3Curve, error) {
 		if opts.withinCap(ranks) {
 			rankList = append(rankList, ranks)
 		}
+	}
+	if len(rankList) == 0 {
+		return nil, fmt.Errorf("core: MaxRanks %d excludes every %s configuration (configured: %v)",
+			opts.MaxRanks, app.Name, app.RankCounts())
 	}
 	curves, err := runGrid(opts.runner(), len(rankList), func(i int) (*Figure3Curve, error) {
 		ranks := rankList[i]

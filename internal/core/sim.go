@@ -57,21 +57,19 @@ func SimTable(refs []WorkloadRef, opts Options) ([]SimRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		gsp := cell.Start("generate")
-		tr, err := app.Generate(ref.Ranks)
+		o := opts
+		o.Span = cell
+		tr, err := generateTrace(app, ref.Ranks, o)
 		if err != nil {
-			gsp.End()
 			return nil, err
 		}
-		gsp.Add("events", int64(len(tr.Events)))
-		gsp.End()
 		torCfg, ftCfg, dfCfg, err := topology.Configs(ref.Ranks)
 		if err != nil {
 			return nil, err
 		}
 		rows := make([]SimRow, 0, 3)
 		for _, cfg := range []topology.Config{torCfg, ftCfg, dfCfg} {
-			topo, err := cfg.Build()
+			topo, err := opts.Cache.Topology(cfg, cfg.Build)
 			if err != nil {
 				return nil, err
 			}
@@ -79,19 +77,26 @@ func SimTable(refs []WorkloadRef, opts Options) ([]SimRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			ssp := cell.Start("simnet")
-			ssp.SetLabel(topo.Kind())
-			stats, err := simnet.Simulate(tr, topo, mp, simnet.Options{
-				BandwidthBytesPerSec: opts.BandwidthBytesPerSec,
-				PacketBytes:          opts.PacketSize,
-			})
+			// The span ends via defer on every path: a failing simulation
+			// must not leave an unterminated span in the debug ring.
+			stats, err := func() (*simnet.Stats, error) {
+				ssp := cell.Start("simnet")
+				defer ssp.End()
+				ssp.SetLabel(topo.Kind())
+				stats, err := simnet.Simulate(tr, topo, mp, simnet.Options{
+					BandwidthBytesPerSec: opts.BandwidthBytesPerSec,
+					PacketBytes:          opts.PacketSize,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("core: sim %s/%d on %s: %w", ref.App, ref.Ranks, topo.Name(), err)
+				}
+				ssp.Add("sim_messages", int64(stats.Messages))
+				ssp.Add("sim_hops", int64(stats.HopsTraversed))
+				return stats, nil
+			}()
 			if err != nil {
-				ssp.End()
-				return nil, fmt.Errorf("core: sim %s/%d on %s: %w", ref.App, ref.Ranks, topo.Name(), err)
+				return nil, err
 			}
-			ssp.Add("sim_messages", int64(stats.Messages))
-			ssp.Add("sim_hops", int64(stats.HopsTraversed))
-			ssp.End()
 			rows = append(rows, SimRow{
 				App: ref.App, Ranks: ref.Ranks, Topology: topo.Kind(), Stats: *stats,
 			})

@@ -37,6 +37,7 @@ import (
 	"netloc/internal/simnet"
 	"netloc/internal/topology"
 	"netloc/internal/trace"
+	"netloc/internal/workcache"
 )
 
 // Families lists the topology families the optimizer can sweep, in the
@@ -484,6 +485,28 @@ func optRunner(o core.Options) parallel.Runner {
 	return parallel.Shared(o.Budget, optWorkers(o))
 }
 
+// accumulateCached memoizes the accumulated matrices of generated
+// traces in the shared artifact cache, so repeated sweeps over the same
+// workload (and core experiments over the same exact scale) reuse them.
+// Attached traces (source "") are never cached: a request payload must
+// not populate artifacts other callers would share.
+func accumulateCached(t *trace.Trace, source string, opts core.Options) (*comm.Accumulated, error) {
+	gen := func() (*comm.Accumulated, error) {
+		sp := opts.Span.Start("accumulate")
+		defer sp.End()
+		sp.Add("events", int64(len(t.Events)))
+		return comm.AccumulateParallel(t,
+			comm.AccumulateOptions{PacketSize: opts.PacketSize, Strategy: opts.Strategy}, optRunner(opts))
+	}
+	if source == "" {
+		return gen()
+	}
+	return opts.Cache.Accumulated(workcache.AccKey{
+		Source: source, App: t.Meta.App, Ranks: t.Meta.Ranks,
+		PacketSize: opts.PacketSize, Strategy: opts.Strategy,
+	}, gen)
+}
+
 // Search runs the design search to completion. See SearchContext.
 func Search(req Request, opts core.Options) (*Sheet, error) {
 	return SearchContext(context.Background(), req, opts)
@@ -507,15 +530,11 @@ func SearchContext(ctx context.Context, req Request, opts core.Options) (*Sheet,
 	}
 	opts = withEngine(opts)
 
-	t, err := resolveTrace(req, opts)
+	t, source, err := resolveTrace(req, opts)
 	if err != nil {
 		return nil, err
 	}
-	sp := opts.Span.Start("accumulate")
-	sp.Add("events", int64(len(t.Events)))
-	acc, err := comm.AccumulateParallel(t,
-		comm.AccumulateOptions{PacketSize: opts.PacketSize, Strategy: opts.Strategy}, optRunner(opts))
-	sp.End()
+	acc, err := accumulateCached(t, source, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -586,7 +605,7 @@ func evaluateConfig(ctx context.Context, cfg topology.Config, req Request, t *tr
 	span.SetLabel(cfg.Kind + cfg.String())
 	defer span.End()
 
-	topo, err := cfg.Build()
+	topo, err := opts.Cache.Topology(cfg, cfg.Build)
 	if err != nil {
 		return configOutcome{}, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"netloc/internal/core"
 	"netloc/internal/trace"
+	"netloc/internal/workcache"
 )
 
 // smallRequest is the shared search fixture: small enough to keep the
@@ -31,22 +32,38 @@ func mustSearch(t *testing.T, req Request, opts core.Options) *Sheet {
 }
 
 // TestSearchDeterministicAcrossWorkers is the core determinism claim:
-// the ranked sheet is byte-identical at -j 1, 4, and 16.
+// the ranked sheet is byte-identical at -j 1, 4, and 16 — and at every
+// artifact-cache mode (disabled, cold per run, warm across runs), since
+// cached traces and matrices must be indistinguishable from fresh ones.
 func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	warm := workcache.New(0)
+	modes := []struct {
+		name  string
+		cache func() *workcache.Cache
+	}{
+		{"disabled", func() *workcache.Cache { return nil }},
+		{"cold", func() *workcache.Cache { return workcache.New(0) }},
+		{"warm", func() *workcache.Cache { return warm }},
+	}
 	var want []byte
-	for _, workers := range []int{1, 4, 16} {
-		sheet := mustSearch(t, smallRequest(), core.Options{Parallelism: workers})
-		got, err := json.Marshal(sheet)
-		if err != nil {
-			t.Fatal(err)
+	for _, mode := range modes {
+		for _, workers := range []int{1, 4, 16} {
+			sheet := mustSearch(t, smallRequest(), core.Options{Parallelism: workers, Cache: mode.cache()})
+			got, err := json.Marshal(sheet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if string(got) != string(want) {
+				t.Fatalf("sheet bytes differ (cache %s, -j%d):\nwant: %s\ngot:  %s", mode.name, workers, want, got)
+			}
 		}
-		if want == nil {
-			want = got
-			continue
-		}
-		if string(got) != string(want) {
-			t.Fatalf("sheet bytes differ between worker counts:\n-j1: %s\n-j%d: %s", want, workers, got)
-		}
+	}
+	if s := warm.Stats(); s.Hits == 0 {
+		t.Fatalf("warm cache recorded no hits across repeated searches: %+v", s)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"netloc/internal/core"
 	"netloc/internal/trace"
+	"netloc/internal/workcache"
 	"netloc/internal/workloads"
 )
 
@@ -25,29 +26,54 @@ func AppNames() []string {
 	return names
 }
 
+// sourceMILC is the workcache trace source for the design-only MILC
+// synthetic generator.
+const sourceMILC = "milc"
+
 // resolveTrace produces the workload trace for a canonicalized request:
 // an attached trace verbatim, a design-only synthetic generator, or the
 // named registry app (case-insensitively) at the requested scale —
 // exactly when configured, extrapolated otherwise.
-func resolveTrace(req Request, opts core.Options) (*trace.Trace, error) {
+//
+// The returned source names which generator produced the trace (a
+// workcache source constant), or "" for an attached trace. Attached
+// traces are never cached — request payloads must not be able to
+// poison artifacts shared with other callers — and generated ones are
+// keyed by source so an extrapolated trace can never satisfy an
+// exact-scale lookup.
+func resolveTrace(req Request, opts core.Options) (*trace.Trace, string, error) {
 	if req.Trace != nil {
 		if err := req.Trace.Validate(); err != nil {
-			return nil, err
+			return nil, "", err
 		}
-		return req.Trace, nil
+		return req.Trace, "", nil
 	}
 	name := strings.ToLower(req.App)
 	if name == "milc" {
-		return milcTrace(req.Ranks)
+		t, err := opts.Cache.Trace(workcache.TraceKey{Source: sourceMILC, App: "milc", Ranks: req.Ranks},
+			func() (*trace.Trace, error) { return milcTrace(req.Ranks) })
+		if err != nil {
+			return nil, "", err
+		}
+		return t, sourceMILC, nil
 	}
 	app, err := lookupFold(req.App)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	if t, err := app.Generate(req.Ranks); err == nil {
-		return t, nil
+	// Exact configured scales share the core experiments' cache slots;
+	// the extrapolated fallback keys separately.
+	t, err := opts.Cache.Trace(workcache.TraceKey{Source: workcache.SourceGenerate, App: app.Name, Ranks: req.Ranks},
+		func() (*trace.Trace, error) { return app.Generate(req.Ranks) })
+	if err == nil {
+		return t, workcache.SourceGenerate, nil
 	}
-	return app.GenerateAt(req.Ranks)
+	t, err = opts.Cache.Trace(workcache.TraceKey{Source: workcache.SourceGenerateAt, App: app.Name, Ranks: req.Ranks},
+		func() (*trace.Trace, error) { return app.GenerateAt(req.Ranks) })
+	if err != nil {
+		return nil, "", err
+	}
+	return t, workcache.SourceGenerateAt, nil
 }
 
 // knownApp reports whether a design request may name this workload, so

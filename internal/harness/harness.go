@@ -20,6 +20,7 @@ import (
 	"netloc/internal/obs"
 	"netloc/internal/report"
 	"netloc/internal/trace"
+	"netloc/internal/workcache"
 )
 
 // Params selects an experiment and its inputs.
@@ -311,6 +312,13 @@ func RunAll(dir string, p Params) error {
 		ext = ".json"
 	case p.CSV:
 		ext = ".csv"
+	}
+	// The experiments revisit the same (app, ranks) cells over and over —
+	// Table 1 and Table 3 alone share every configuration — so a sweep
+	// without a shared artifact cache regenerates each trace several
+	// times. Results are byte-identical either way.
+	if p.Options.Cache == nil {
+		p.Options.Cache = workcache.New(0)
 	}
 	for _, name := range Experiments() {
 		f, err := os.Create(filepath.Join(dir, name+ext))

@@ -102,13 +102,15 @@ func (e Engine) meanGridDistance(m *comm.Matrix, grid []int, q float64) (float64
 	per := make([]float64, m.Ranks())
 	e.Run.ForEach(m.Ranks(), func(src int) {
 		per[src] = math.NaN()
-		dsts, vols := m.BySource(src)
-		if len(dsts) == 0 {
+		buf := rankScratchPool.Get().(*rankScratch)
+		defer rankScratchPool.Put(buf)
+		buf.dsts, buf.vols = m.AppendBySource(src, buf.dsts[:0], buf.vols[:0])
+		if len(buf.dsts) == 0 {
 			return
 		}
 		sc := coords(src)
-		dists := make([]float64, len(dsts))
-		for i, dst := range dsts {
+		buf.dists = buf.dists[:0]
+		for _, dst := range buf.dsts {
 			dc := coords(dst)
 			man := 0
 			for d := 0; d < len(grid); d++ {
@@ -118,9 +120,9 @@ func (e Engine) meanGridDistance(m *comm.Matrix, grid []int, q float64) (float64
 				}
 				man += diff
 			}
-			dists[i] = float64(man)
+			buf.dists = append(buf.dists, float64(man))
 		}
-		d90, err := stats.WeightedQuantileLE(dists, vols, q)
+		d90, err := stats.WeightedQuantileLEInPlace(buf.dists, buf.vols, q)
 		if err != nil {
 			return
 		}

@@ -24,11 +24,24 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"netloc/internal/comm"
 	"netloc/internal/parallel"
 	"netloc/internal/stats"
 )
+
+// rankScratch holds the per-iteration buffers of the per-rank metric
+// loops, pooled so a grid of thousands of ranks reuses a handful of
+// buffers (one per concurrent worker) instead of allocating three slices
+// per rank.
+type rankScratch struct {
+	dsts  []int
+	vols  []float64
+	dists []float64
+}
+
+var rankScratchPool = sync.Pool{New: func() any { return new(rankScratch) }}
 
 // Engine computes the per-rank metric loops on a configurable parallel
 // runner. Per-rank results are written index-addressed and all
@@ -85,16 +98,18 @@ func (e Engine) PerRankDistance(m *comm.Matrix, q float64) ([]float64, error) {
 	}
 	out := make([]float64, m.Ranks())
 	e.Run.ForEach(m.Ranks(), func(src int) {
-		dsts, vols := m.BySource(src)
-		if len(dsts) == 0 {
+		sc := rankScratchPool.Get().(*rankScratch)
+		defer rankScratchPool.Put(sc)
+		sc.dsts, sc.vols = m.AppendBySource(src, sc.dsts[:0], sc.vols[:0])
+		if len(sc.dsts) == 0 {
 			out[src] = math.NaN()
 			return
 		}
-		dists := make([]float64, len(dsts))
-		for i, d := range dsts {
-			dists[i] = math.Abs(float64(src - d))
+		sc.dists = sc.dists[:0]
+		for _, d := range sc.dsts {
+			sc.dists = append(sc.dists, math.Abs(float64(src-d)))
 		}
-		d90, err := stats.WeightedQuantileLE(dists, vols, q)
+		d90, err := stats.WeightedQuantileLEInPlace(sc.dists, sc.vols, q)
 		if err != nil {
 			out[src] = math.NaN()
 			return
@@ -155,8 +170,10 @@ func (e Engine) PerRankSelectivity(m *comm.Matrix, q float64) ([]int, error) {
 	}
 	out := make([]int, m.Ranks())
 	e.Run.ForEach(m.Ranks(), func(src int) {
-		_, vols := m.BySource(src)
-		out[src] = stats.CoverageCount(vols, q)
+		sc := rankScratchPool.Get().(*rankScratch)
+		defer rankScratchPool.Put(sc)
+		sc.dsts, sc.vols = m.AppendBySource(src, sc.dsts[:0], sc.vols[:0])
+		out[src] = stats.CoverageCountInPlace(sc.vols, q)
 	})
 	return out, nil
 }

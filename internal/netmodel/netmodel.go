@@ -113,51 +113,98 @@ func Run(m *comm.Matrix, topo topology.Topology, mp *mapping.Mapping, opts Optio
 		res.LinkBytes = make([]uint64, len(topo.Links()))
 		classes = topo.LinkClasses()
 	}
+	// Resolve the rank→node table once instead of twice per matrix pair.
+	nodeOf := make([]int, m.Ranks())
+	for r := range nodeOf {
+		n, err := mp.NodeOf(r)
+		if err != nil {
+			return nil, err
+		}
+		nodeOf[r] = n
+	}
 	var globalMsgs uint64
-	var buf []int
 	var iterErr error
-	m.Each(func(k comm.Key, e comm.Entry) {
-		if iterErr != nil {
-			return
+	if torus, ok := topo.(*topology.Torus); ok && opts.TrackLinks {
+		// Torus fast path: hop counts are O(1) and the per-link loads of
+		// one source's routes are tree-accumulated in O(nodes) instead of
+		// walking every pair's route. A torus has no global links, so
+		// GlobalMsgShare stays zero exactly as the route walk would leave
+		// it. Flows from different sources are independent integer sums,
+		// so accumulating rank by rank is exact even when several ranks
+		// share a node.
+		dstBytes := make([]uint64, topo.Nodes())
+		var sc topology.FlowScratch
+		for src := 0; src < m.Ranks() && iterErr == nil; src++ {
+			ns := nodeOf[src]
+			any := false
+			m.EachDst(src, func(dst int, e comm.Entry) {
+				nd := nodeOf[dst]
+				if ns == nd {
+					res.IntraNodeBytes += e.Bytes
+					return
+				}
+				res.InterNodeBytes += e.Bytes
+				res.Messages += e.Messages
+				res.Packets += e.Packets
+				hops := uint64(torus.HopCount(ns, nd))
+				res.PacketHops += e.Packets * hops
+				res.ByteHops += e.Bytes * hops
+				if e.Bytes > 0 {
+					dstBytes[nd] += e.Bytes
+					any = true
+				}
+			})
+			if !any {
+				continue
+			}
+			iterErr = torus.AccumulateFlows(ns, dstBytes, res.LinkBytes, &sc)
+			for i := range dstBytes {
+				dstBytes[i] = 0
+			}
 		}
-		ns, err := mp.NodeOf(k.Src)
-		if err != nil {
-			iterErr = err
-			return
-		}
-		nd, err := mp.NodeOf(k.Dst)
-		if err != nil {
-			iterErr = err
-			return
-		}
-		if ns == nd {
-			res.IntraNodeBytes += e.Bytes
-			return
-		}
-		res.InterNodeBytes += e.Bytes
-		res.Messages += e.Messages
-		res.Packets += e.Packets
-		hops := topo.HopCount(ns, nd)
-		res.PacketHops += e.Packets * uint64(hops)
-		res.ByteHops += e.Bytes * uint64(hops)
-		if opts.TrackLinks {
-			buf, err = topo.Route(ns, nd, buf)
-			if err != nil {
-				iterErr = err
+	} else {
+		var buf []int
+		m.Each(func(k comm.Key, e comm.Entry) {
+			if iterErr != nil {
 				return
 			}
-			crossesGlobal := false
-			for _, li := range buf {
-				res.LinkBytes[li] += e.Bytes
-				if classes[li] == topology.ClassGlobal {
-					crossesGlobal = true
+			ns, nd := nodeOf[k.Src], nodeOf[k.Dst]
+			if ns == nd {
+				res.IntraNodeBytes += e.Bytes
+				return
+			}
+			res.InterNodeBytes += e.Bytes
+			res.Messages += e.Messages
+			res.Packets += e.Packets
+			var hops int
+			if opts.TrackLinks {
+				// The routed path is minimal (property-tested against BFS
+				// for every topology), so its length doubles as the hop
+				// count — one traversal instead of HopCount plus Route.
+				var err error
+				buf, err = topo.Route(ns, nd, buf)
+				if err != nil {
+					iterErr = err
+					return
 				}
+				hops = len(buf)
+				crossesGlobal := false
+				for _, li := range buf {
+					res.LinkBytes[li] += e.Bytes
+					if classes[li] == topology.ClassGlobal {
+						crossesGlobal = true
+					}
+				}
+				if crossesGlobal {
+					globalMsgs += e.Messages
+				}
+			} else {
+				hops = topo.HopCount(ns, nd)
 			}
-			if crossesGlobal {
-				globalMsgs += e.Messages
-			}
-		}
-	})
+			res.PacketHops += e.Packets * uint64(hops)
+			res.ByteHops += e.Bytes * uint64(hops)
+		})
+	}
 	if iterErr != nil {
 		return nil, iterErr
 	}

@@ -136,6 +136,10 @@ type SpanData struct {
 	Counts          map[string]int64 `json:"counts,omitempty"`
 	Children        []SpanData       `json:"children,omitempty"`
 	DroppedChildren int              `json:"dropped_children,omitempty"`
+	// Ended reports whether End() ran before this snapshot — the invariant
+	// span-leak tests assert on error paths. Excluded from JSON so
+	// /v1/debug/runs bytes are unchanged by its existence.
+	Ended bool `json:"-"`
 }
 
 // Data snapshots the span tree. Safe to call concurrently with further
@@ -150,6 +154,7 @@ func (s *Span) Data() SpanData {
 		Label:           s.label,
 		Start:           s.start,
 		DroppedChildren: s.dropped,
+		Ended:           s.done,
 	}
 	if s.done {
 		d.DurationMS = float64(s.dur) / float64(time.Millisecond)

@@ -23,6 +23,7 @@ func (s *Server) designOptions() core.Options {
 	opts := s.opts.Analysis
 	opts.Parallelism = s.opts.Workers
 	opts.Budget = s.budget
+	opts.Cache = s.work
 	return opts
 }
 

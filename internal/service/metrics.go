@@ -7,6 +7,7 @@ import (
 	"netloc/internal/design"
 	"netloc/internal/obs"
 	"netloc/internal/parallel"
+	"netloc/internal/workcache"
 )
 
 // latencyBucketsMs are the upper bounds (in milliseconds) of the request
@@ -51,6 +52,7 @@ type metricsRegistry struct {
 
 	queueWait *obs.Histogram
 	pipeline  map[string]*obs.Counter
+	workcache *workcache.Cache
 }
 
 func newMetricsRegistry(endpoints []string) *metricsRegistry {
@@ -116,6 +118,23 @@ func (m *metricsRegistry) bindDesignJobs(store *design.Store) {
 		func() float64 { return float64(store.Stats().Completed) })
 }
 
+// bindWorkcache registers the workload artifact cache's effectiveness
+// counters. Unlike the result cache (marshaled response bytes), this
+// cache holds the expensive intermediate artifacts — generated traces
+// and accumulated matrices — shared across experiments, analyses, and
+// design searches. Called once from New, next to bindEngine.
+func (m *metricsRegistry) bindWorkcache(c *workcache.Cache) {
+	m.workcache = c
+	m.reg.CounterFunc("netloc_workcache_hits_total", "Workload artifact cache hits (including singleflight waiters).",
+		func() float64 { return float64(c.Stats().Hits) })
+	m.reg.CounterFunc("netloc_workcache_misses_total", "Workload artifact cache misses (generations executed).",
+		func() float64 { return float64(c.Stats().Misses) })
+	m.reg.CounterFunc("netloc_workcache_evictions_total", "Workload artifacts evicted by the LRU bound.",
+		func() float64 { return float64(c.Stats().Evictions) })
+	m.reg.GaugeFunc("netloc_workcache_entries", "Workload artifacts currently cached.",
+		func() float64 { return float64(c.Stats().Entries) })
+}
+
 // observeLatency records one request's latency in milliseconds.
 func (e *endpointMetrics) observeLatency(d time.Duration) {
 	e.latency.Observe(float64(d) / float64(time.Millisecond))
@@ -179,7 +198,14 @@ func (m *metricsRegistry) snapshot(cacheEntries int, cacheEvictions int64, engin
 	for _, name := range pipelineCountNames {
 		pipeline[name] = m.pipeline[name].Value()
 	}
+	ws := m.workcache.Stats()
 	return map[string]any{
+		"workcache": map[string]any{
+			"hits":      ws.Hits,
+			"misses":    ws.Misses,
+			"entries":   ws.Entries,
+			"evictions": ws.Evictions,
+		},
 		"cache": map[string]any{
 			"hits":      m.cacheHits.Value(),
 			"misses":    m.cacheMisses.Value(),

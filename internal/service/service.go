@@ -64,6 +64,7 @@ import (
 	"netloc/internal/report"
 	"netloc/internal/topology"
 	"netloc/internal/trace"
+	"netloc/internal/workcache"
 	"netloc/internal/workloads"
 )
 
@@ -79,6 +80,10 @@ type Options struct {
 	// DesignJobs bounds the async design-job store;
 	// design.DefaultJobCapacity when zero.
 	DesignJobs int
+	// ArtifactEntries bounds the workload artifact cache shared by every
+	// analysis (generated traces and accumulated matrices);
+	// workcache.DefaultMaxEntries when zero.
+	ArtifactEntries int
 	// Log, when set, enables structured request logging: one record per
 	// request with its request ID, endpoint, status, and latency. Nil
 	// disables logging (the default; tests and embedders stay quiet).
@@ -108,6 +113,7 @@ type Server struct {
 	metrics   *metricsRegistry
 	tracer    *obs.Tracer
 	jobs      *design.Store
+	work      *workcache.Cache
 	requestID atomic.Int64
 }
 
@@ -135,11 +141,13 @@ func New(opts Options) *Server {
 		budget:  parallel.NewBudget(opts.Workers),
 		metrics: newMetricsRegistry(endpointNames),
 		tracer:  obs.NewTracer(obs.DefaultTracerRuns),
+		work:    workcache.New(opts.ArtifactEntries),
 	}
 	s.jobs = design.NewStore(opts.DesignJobs)
 	s.jobs.Search = s.designSearch
 	s.metrics.bindEngine(s.budget, s.cache, s.tracer)
 	s.metrics.bindDesignJobs(s.jobs)
+	s.metrics.bindWorkcache(s.work)
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperimentList))
@@ -392,9 +400,13 @@ func (s *Server) analysisOptions(q url.Values) (core.Options, error) {
 	opts.MaxRanks = maxRanks
 	// Intra-request parallelism draws from the same budget that admits
 	// requests, so the two levels compose instead of oversubscribing.
-	// Parallelism never changes results, so it stays out of cache keys.
+	// Parallelism never changes results, so it stays out of cache keys —
+	// and neither does the artifact cache, whose contents are
+	// byte-identical to fresh generation (uploaded traces bypass it
+	// entirely in core.AnalyzeTrace).
 	opts.Parallelism = s.opts.Workers
 	opts.Budget = s.budget
+	opts.Cache = s.work
 	return opts, nil
 }
 
@@ -539,8 +551,8 @@ type TopologiesResult struct {
 	Dragonfly TopoInfo `json:"dragonfly"`
 }
 
-func topoInfo(cfg topology.Config) (TopoInfo, error) {
-	t, err := cfg.Build()
+func topoInfo(cfg topology.Config, cache *workcache.Cache) (TopoInfo, error) {
+	t, err := cache.Topology(cfg, cfg.Build)
 	if err != nil {
 		return TopoInfo{}, err
 	}
@@ -580,13 +592,13 @@ func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		out := TopologiesResult{Ranks: ranks}
-		if out.Torus, err = topoInfo(tor); err != nil {
+		if out.Torus, err = topoInfo(tor, s.work); err != nil {
 			return nil, err
 		}
-		if out.FatTree, err = topoInfo(ft); err != nil {
+		if out.FatTree, err = topoInfo(ft, s.work); err != nil {
 			return nil, err
 		}
-		if out.Dragonfly, err = topoInfo(df); err != nil {
+		if out.Dragonfly, err = topoInfo(df, s.work); err != nil {
 			return nil, err
 		}
 		return &out, nil

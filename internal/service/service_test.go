@@ -61,8 +61,9 @@ type cacheCounters struct {
 }
 
 type metricsDoc struct {
-	Cache   cacheCounters `json:"cache"`
-	Compute struct {
+	Cache     cacheCounters `json:"cache"`
+	Workcache cacheCounters `json:"workcache"`
+	Compute   struct {
 		Executed int64 `json:"executed"`
 		Deduped  int64 `json:"deduped"`
 	} `json:"compute"`
@@ -680,5 +681,37 @@ func TestPipelineCountersAbsorbed(t *testing.T) {
 	}
 	if doc.Pipeline["events"] == 0 || doc.Pipeline["packets"] == 0 {
 		t.Errorf("pipeline counters not absorbed: %v", doc.Pipeline)
+	}
+}
+
+// TestWorkcacheMetricsExposed checks the artifact-cache counters on both
+// /metrics surfaces: two analyses of the same workload under different
+// topologies have distinct result-cache keys but share the generated
+// trace and accumulated matrices, so the second request must land as
+// workcache hits.
+func TestWorkcacheMetricsExposed(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	getOK(t, ts, "/v1/analyze?app=LULESH&ranks=64&topo=torus")
+	getOK(t, ts, "/v1/analyze?app=LULESH&ranks=64&topo=fattree")
+
+	doc := metricsSnapshot(t, ts)
+	if doc.Workcache.Misses == 0 {
+		t.Fatalf("workcache misses = 0 after cold analyses: %+v", doc.Workcache)
+	}
+	if doc.Workcache.Hits == 0 {
+		t.Fatalf("workcache hits = 0 after an artifact-sharing analysis: %+v", doc.Workcache)
+	}
+	if doc.Workcache.Entries == 0 {
+		t.Fatalf("workcache entries = 0 with artifacts resident: %+v", doc.Workcache)
+	}
+
+	prom := string(getOK(t, ts, "/metrics?format=prom"))
+	for _, series := range []string{
+		"netloc_workcache_hits_total", "netloc_workcache_misses_total",
+		"netloc_workcache_evictions_total", "netloc_workcache_entries",
+	} {
+		if !strings.Contains(prom, series) {
+			t.Errorf("prometheus exposition missing %s", series)
+		}
 	}
 }

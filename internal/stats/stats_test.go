@@ -408,3 +408,42 @@ func TestCumulativeSharesMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInPlaceVariantsMatchOriginals cross-checks the allocation-free
+// in-place quantile and coverage-count against the copying originals on
+// random data (including zero weights, which both must drop) across a
+// spread of quantiles. The in-place variants may permute their inputs,
+// so each call gets a fresh copy.
+func TestInPlaceVariantsMatchOriginals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Floor(rng.Float64()*100) / 10
+			if rng.Intn(4) == 0 {
+				ws[i] = 0 // zero-weight samples must be dropped identically
+			} else {
+				ws[i] = rng.Float64() * 10
+			}
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 1} {
+			want, wantErr := WeightedQuantileLE(append([]float64(nil), xs...), append([]float64(nil), ws...), q)
+			got, gotErr := WeightedQuantileLEInPlace(append([]float64(nil), xs...), append([]float64(nil), ws...), q)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("trial %d q=%g: error mismatch: %v vs %v", trial, q, wantErr, gotErr)
+			}
+			if wantErr == nil && got != want {
+				t.Fatalf("trial %d q=%g: WeightedQuantileLEInPlace = %v, want %v (xs=%v ws=%v)",
+					trial, q, got, want, xs, ws)
+			}
+			wantC := CoverageCount(append([]float64(nil), ws...), q)
+			gotC := CoverageCountInPlace(append([]float64(nil), ws...), q)
+			if gotC != wantC {
+				t.Fatalf("trial %d q=%g: CoverageCountInPlace = %d, want %d (ws=%v)",
+					trial, q, gotC, wantC, ws)
+			}
+		}
+	}
+}

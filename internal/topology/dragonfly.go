@@ -28,6 +28,13 @@ type Dragonfly struct {
 	termLink  []int   // node -> terminal link index
 	localLink [][]int // group -> flattened a×a router pair -> link index (upper triangle)
 	globalOf  []int   // group*a*h + k -> global link index
+
+	// portRouter[k] = k / h, nodeGroup[v] = v / (a*p), and
+	// nodeRouter[v] = (v % (a*p)) / p, precomputed so the per-pair
+	// hop/route loops run on table lookups instead of divisions.
+	portRouter []int32
+	nodeGroup  []int32
+	nodeRouter []int32
 }
 
 // NewDragonfly constructs a dragonfly. All parameters must be positive and
@@ -49,6 +56,16 @@ func NewDragonfly(a, h, p int) (*Dragonfly, error) {
 func (d *Dragonfly) build() {
 	n := d.Nodes()
 	g := d.groups
+	d.portRouter = make([]int32, d.a*d.h)
+	for k := range d.portRouter {
+		d.portRouter[k] = int32(k / d.h)
+	}
+	d.nodeGroup = make([]int32, n)
+	d.nodeRouter = make([]int32, n)
+	for v := 0; v < n; v++ {
+		d.nodeGroup[v] = int32(v / (d.a * d.p))
+		d.nodeRouter[v] = int32((v % (d.a * d.p)) / d.p)
+	}
 	addLink := func(x, y int, class LinkClass) int {
 		d.links = append(d.links, Link{A: x, B: y})
 		d.classes = append(d.classes, class)
@@ -126,8 +143,8 @@ func (d *Dragonfly) Links() []Link { return d.links }
 // LinkClasses implements Topology.
 func (d *Dragonfly) LinkClasses() []LinkClass { return d.classes }
 
-func (d *Dragonfly) groupOf(v int) int  { return v / (d.a * d.p) }
-func (d *Dragonfly) routerOf(v int) int { return (v % (d.a * d.p)) / d.p }
+func (d *Dragonfly) groupOf(v int) int  { return int(d.nodeGroup[v]) }
+func (d *Dragonfly) routerOf(v int) int { return int(d.nodeRouter[v]) }
 
 func (d *Dragonfly) routerVertex(group, router int) int {
 	return d.Nodes() + group*d.a + router
@@ -144,9 +161,9 @@ func (d *Dragonfly) gatewayPort(src, dst int) int {
 // whose router is not the gateway.
 func (d *Dragonfly) directHops(rs, rd, gs, gd int) int {
 	k := d.gatewayPort(gs, gd)
-	srcGW := k / d.h
+	srcGW := int(d.portRouter[k])
 	peerPort := d.a*d.h - 1 - k
-	dstGW := peerPort / d.h
+	dstGW := int(d.portRouter[peerPort])
 	hops := 3 // terminal + global + terminal
 	if rs != srcGW {
 		hops++
@@ -166,19 +183,31 @@ func (d *Dragonfly) directHops(rs, rd, gs, gd int) int {
 // two global port identifiers (group*a*h + port) or ok=false.
 func (d *Dragonfly) twoGlobalShortcut(rs, rd, gs, gd int) (k1, k2 int, ok bool) {
 	ah := d.a * d.h
-	for p1 := rs * d.h; p1 < (rs+1)*d.h; p1++ {
-		gx := (gs + p1 + 1) % d.groups
-		if gx == gd {
-			continue // that is the direct link
-		}
-		rx := (ah - 1 - p1) / d.h // landing router in group gx
-		for p2 := rx * d.h; p2 < (rx+1)*d.h; p2++ {
-			if (gx+p2+1)%d.groups != gd {
-				continue
+	// gx and p2 move by ±1 as p1 increments, so both are maintained with
+	// wraparound subtractions instead of per-iteration mod/div.
+	p1 := rs * d.h
+	gx := gs + p1 + 1
+	if gx >= d.groups {
+		gx -= d.groups
+	}
+	for end := p1 + d.h; p1 < end; p1++ {
+		if gx != gd {
+			rx := d.portRouter[ah-1-p1] // landing router in group gx
+			// Each group pair shares exactly one global link, so the
+			// only candidate port of gx toward gd is its gateway port;
+			// the shortcut exists iff that port belongs to the landing
+			// router and its far end lands on the destination router.
+			p2 := gd - gx - 1
+			if p2 < 0 {
+				p2 += d.groups
 			}
-			if (ah-1-p2)/d.h == rd {
+			if d.portRouter[p2] == rx && int(d.portRouter[ah-1-p2]) == rd {
 				return gs*ah + p1, gx*ah + p2, true
 			}
+		}
+		gx++
+		if gx == d.groups {
+			gx = 0
 		}
 	}
 	return 0, 0, false
@@ -225,9 +254,9 @@ func (d *Dragonfly) Route(src, dst int, buf []int) ([]int, error) {
 		return append(buf, d.termLink[dst]), nil
 	}
 	k := d.gatewayPort(gs, gd)
-	srcGW := k / d.h
+	srcGW := int(d.portRouter[k])
 	peerPort := d.a*d.h - 1 - k
-	dstGW := peerPort / d.h
+	dstGW := int(d.portRouter[peerPort])
 	if rs != srcGW && rd != dstGW {
 		// The canonical route needs two local hops; prefer an aligned
 		// 4-hop double-global shortcut when one exists.

@@ -260,21 +260,88 @@ func TestRingDist(t *testing.T) {
 	}
 }
 
-func TestRingStepConverges(t *testing.T) {
+// TestRouteWalkMatchesRingDist pins the per-dimension walk: on a 1D ring
+// of every small size, the route between any two coordinates uses exactly
+// ringDist links.
+func TestRouteWalkMatchesRingDist(t *testing.T) {
 	for size := 1; size <= 7; size++ {
+		tor, err := NewTorus(size, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf []int
 		for a := 0; a < size; a++ {
 			for b := 0; b < size; b++ {
-				cur, steps := a, 0
-				for cur != b {
-					cur = ringStep(cur, b, size)
-					steps++
-					if steps > size {
-						t.Fatalf("ringStep loop a=%d b=%d size=%d", a, b, size)
-					}
+				route, err := tor.Route(a, b, buf)
+				if err != nil {
+					t.Fatal(err)
 				}
-				if steps != ringDist(a, b, size) {
-					t.Fatalf("steps %d != ringDist %d (a=%d b=%d size=%d)", steps, ringDist(a, b, size), a, b, size)
+				buf = route
+				if len(route) != ringDist(a, b, size) {
+					t.Fatalf("route a=%d b=%d size=%d has %d links, want %d", a, b, size, len(route), ringDist(a, b, size))
 				}
+			}
+		}
+	}
+}
+
+// TestAccumulateFlowsMatchesPerPairRouting pins the tree-accumulation fast
+// path against the definitionally-correct per-pair route walk, over random
+// traffic on torus and mesh shapes including size-1 and size-2 dimensions.
+func TestAccumulateFlowsMatchesPerPairRouting(t *testing.T) {
+	shapes := []struct {
+		x, y, z int
+		wrap    bool
+	}{
+		{4, 4, 4, true}, {5, 3, 2, true}, {2, 2, 2, true}, {6, 1, 1, true},
+		{4, 4, 4, false}, {5, 3, 2, false}, {1, 7, 2, false},
+	}
+	for _, s := range shapes {
+		var tor *Torus
+		var err error
+		if s.wrap {
+			tor, err = NewTorus(s.x, s.y, s.z)
+		} else {
+			tor, err = NewMesh(s.x, s.y, s.z)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tor.Nodes()
+		rng := rand.New(rand.NewSource(int64(n)))
+		dstBytes := make([]uint64, n)
+		want := make([]uint64, len(tor.Links()))
+		got := make([]uint64, len(tor.Links()))
+		var sc FlowScratch
+		var buf []int
+		for src := 0; src < n; src++ {
+			for i := range dstBytes {
+				dstBytes[i] = 0
+			}
+			for v := 0; v < n; v++ {
+				if v != src && rng.Intn(3) > 0 {
+					dstBytes[v] = uint64(rng.Intn(1000))
+				}
+			}
+			for v := 0; v < n; v++ {
+				if dstBytes[v] == 0 {
+					continue
+				}
+				buf, err = tor.Route(src, v, buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, li := range buf {
+					want[li] += dstBytes[v]
+				}
+			}
+			if err := tor.AccumulateFlows(src, dstBytes, got, &sc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for li := range want {
+			if want[li] != got[li] {
+				t.Fatalf("%s: link %d bytes %d (fast) != %d (per-pair)", tor.Name(), li, got[li], want[li])
 			}
 		}
 	}

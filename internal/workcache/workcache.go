@@ -1,0 +1,297 @@
+// Package workcache provides the content-addressed workload artifact
+// cache shared by the experiment drivers, the design sweep, and the
+// analysis service.
+//
+// The paper's tables and figures sweep a (workload × scale × topology ×
+// mapping) grid, but the expensive inputs — the generated synthetic trace,
+// the accumulated communication matrices, and the built topologies —
+// depend only on (app, ranks), (app, ranks, packet size, expansion
+// strategy), and the topology's structural parameters respectively.
+// Without a cache, every experiment re-derives them per cell; with one,
+// the first run pays and every other experiment, design candidate, and
+// service request above it shares the artifact.
+//
+// Cached values are shared read-only: traces and accumulated matrices are
+// immutable after construction everywhere in the pipeline, and all
+// derived analysis is exact integer or index-ordered arithmetic, so a
+// cached artifact produces byte-identical reports to a fresh one. The
+// scheduling-dependent Accumulated.Shards field is the one exception and
+// is deliberately excluded from every report.
+//
+// Concurrency: lookups are mutex-guarded, misses are deduplicated with a
+// singleflight group (a cold-start storm on one key runs one generation;
+// the waiters share the result), and the store is a bounded LRU. A nil
+// *Cache is valid and disables caching — every accessor just runs its
+// generator.
+package workcache
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"netloc/internal/comm"
+	"netloc/internal/mpi"
+	"netloc/internal/topology"
+	"netloc/internal/trace"
+)
+
+// DefaultMaxEntries bounds the artifact store when New is given a
+// non-positive cap. Artifacts are per (app, ranks[, accumulate options])
+// and the full experiment grid touches a few dozen, so 128 holds the
+// entire paper sweep plus service traffic with room to spare.
+const DefaultMaxEntries = 128
+
+// TraceKey addresses a generated trace. Source names the generator kind
+// ("gen" for the registry's configured scales, "genat" for extrapolated
+// scales, "milc" for the design-only synthetic) so generators with
+// different domains can never satisfy each other's lookups — a registry
+// lookup must still fail at an unconfigured scale even when the design
+// sweep cached an extrapolated trace there.
+type TraceKey struct {
+	Source string
+	App    string
+	Ranks  int
+}
+
+// SourceGenerate is the TraceKey source for registry App.Generate traces.
+const SourceGenerate = "gen"
+
+// SourceGenerateAt is the TraceKey source for extrapolated App.GenerateAt
+// traces.
+const SourceGenerateAt = "genat"
+
+func (k TraceKey) id() string {
+	return fmt.Sprintf("trace/%s/app=%s&ranks=%d", k.Source, strings.ToLower(k.App), k.Ranks)
+}
+
+// AccKey addresses an accumulated matrix pair. It extends the trace key
+// with the two options that change matrix content; coverage, parallelism,
+// budgets, and spans never do and must stay out.
+type AccKey struct {
+	Source     string
+	App        string
+	Ranks      int
+	PacketSize int
+	Strategy   mpi.Strategy
+}
+
+func (k AccKey) id() string {
+	ps := k.PacketSize
+	if ps <= 0 {
+		ps = comm.DefaultPacketSize
+	}
+	return fmt.Sprintf("acc/%s/app=%s&ranks=%d&ps=%d&strategy=%d",
+		k.Source, strings.ToLower(k.App), k.Ranks, ps, k.Strategy)
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// Cache is the bounded artifact store. The zero value is not usable; use
+// New. A nil *Cache disables caching.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	flight flightGroup
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// New creates a cache bounded to max artifacts (DefaultMaxEntries when
+// max <= 0).
+func New(max int) *Cache {
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// Trace returns the cached trace for k, running gen exactly once across
+// concurrent callers on a miss. Errors are returned to every concurrent
+// waiter but are not stored: a later call retries. A nil cache calls gen
+// directly.
+func (c *Cache) Trace(k TraceKey, gen func() (*trace.Trace, error)) (*trace.Trace, error) {
+	v, err := c.do(k.id(), func() (any, error) { return gen() })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*trace.Trace), nil
+}
+
+// Accumulated returns the cached matrix pair for k, running gen exactly
+// once across concurrent callers on a miss. A nil cache calls gen
+// directly.
+func (c *Cache) Accumulated(k AccKey, gen func() (*comm.Accumulated, error)) (*comm.Accumulated, error) {
+	v, err := c.do(k.id(), func() (any, error) { return gen() })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*comm.Accumulated), nil
+}
+
+// topoID keys a built topology by its structural parameters only: Build
+// ignores Config.Size and Config.Nodes, and String() renders exactly the
+// fields Build reads for each kind.
+func topoID(cfg topology.Config) string {
+	return "topo/" + cfg.Kind + cfg.String()
+}
+
+// Topology returns the cached built topology for cfg, building it
+// exactly once across concurrent callers on a miss. Built topologies
+// are immutable (routing tables are precomputed at construction and
+// every Route variant takes a caller-owned buffer), so one instance is
+// safe to share across concurrent analysis cells. A nil cache builds
+// directly.
+func (c *Cache) Topology(cfg topology.Config, gen func() (topology.Topology, error)) (topology.Topology, error) {
+	v, err := c.do(topoID(cfg), func() (any, error) { return gen() })
+	if err != nil {
+		return nil, err
+	}
+	return v.(topology.Topology), nil
+}
+
+// Stats returns the current effectiveness counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	entries := 0
+	if c.ll != nil {
+		entries = c.ll.Len()
+	}
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+	}
+}
+
+func (c *Cache) do(id string, gen func() (any, error)) (any, error) {
+	if c == nil {
+		return gen()
+	}
+	if v, ok := c.get(id); ok {
+		c.hits.Add(1)
+		return v, nil
+	}
+	// The flight closure re-checks the store so that callers which queued
+	// behind a winner arriving after its insert still hit; only the
+	// winner runs gen. Waiters sharing the winner's result count as hits
+	// of the dedup layer, not misses.
+	v, err, shared := c.flight.do(id, func() (any, error) {
+		if v, ok := c.get(id); ok {
+			return v, nil
+		}
+		c.misses.Add(1)
+		v, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		c.add(id, v)
+		return v, nil
+	})
+	if shared && err == nil {
+		c.hits.Add(1)
+	}
+	return v, err
+}
+
+func (c *Cache) get(id string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *Cache) add(id string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[id]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = v
+		return
+	}
+	c.items[id] = c.ll.PushFront(&cacheEntry{key: id, val: v})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// flightGroup is the in-tree singleflight (see internal/service for the
+// byte-specialized original): one generation per key among concurrent
+// callers, panic converted to a shared error, the in-flight slot always
+// cleared so a poisoned key never wedges later callers.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	func() {
+		defer c.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				c.val, c.err = nil, fmt.Errorf("workcache: panic in generator: %v", r)
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+	return c.val, c.err, false
+}
