@@ -565,3 +565,32 @@ func BenchmarkDesignSearchSmall(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCongestionLULESH64 pins the cost of the temporal congestion
+// study on one representative cell: LULESH at 64 ranks replayed on its
+// three Table 2 topologies under all four routing policies, tolerance
+// sweep disabled (the sweep's cost is just repeated simulation). This is
+// the event-driven simulator end to end — trace generation, expansion,
+// per-policy routing, the global event loop, and the hotspot pass.
+func BenchmarkCongestionLULESH64(b *testing.B) {
+	refs := []core.WorkloadRef{{App: "LULESH", Ranks: 64}}
+	// Shared artifact cache, as the service and harness run it.
+	opts := core.Options{Cache: workcache.New(0)}
+	for i := 0; i < b.N; i++ {
+		rows, err := core.CongestionTable(refs, nil, -1, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Congestion(io.Discard, rows, false); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(rows)), "rows")
+			var msgs float64
+			for _, r := range rows {
+				msgs += float64(r.Messages)
+			}
+			b.ReportMetric(msgs, "messages")
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	locality -exp table1|table2|table3|table4|fig1|fig3|fig4|fig5|sim|score|claims [flags]
+//	locality -exp table1|table2|table3|table4|fig1|fig3|fig4|fig5|sim|congestion|score|claims [flags]
 //	locality -trace file.nlt [flags]
 //	locality -all dir [flags]
 //	locality -list

@@ -179,6 +179,15 @@ var experiments = map[string]runner{
 			return report.SimTable(w, rows.([]core.SimRow), p.CSV)
 		},
 	},
+	"congestion": {
+		description: "EXTENSION: temporal congestion study (routing policies, queueing, hotspots, latency tolerance)",
+		collect: func(p Params) (any, error) {
+			return core.CongestionTable(nil, nil, 0, p.Options)
+		},
+		render: func(w io.Writer, rows any, p Params) error {
+			return report.Congestion(w, rows.([]core.CongestionRow), p.CSV)
+		},
+	},
 	"score": {
 		description: "EXTENSION: quantitative reproduction scorecard vs the paper's anchor values",
 		collect: func(p Params) (any, error) {

@@ -18,7 +18,7 @@ import (
 
 func TestExperimentsListed(t *testing.T) {
 	names := Experiments()
-	want := []string{"claims", "fig1", "fig3", "fig4", "fig5", "score", "sim", "table1", "table2", "table3", "table4"}
+	want := []string{"claims", "congestion", "fig1", "fig3", "fig4", "fig5", "score", "sim", "table1", "table2", "table3", "table4"}
 	if len(names) != len(want) {
 		t.Fatalf("experiments = %v", names)
 	}

@@ -331,6 +331,45 @@ func SimTable(w io.Writer, rows []core.SimRow, csv bool) error {
 	return writeTable(w, header, out)
 }
 
+// Congestion renders the temporal congestion-study grid: per (workload,
+// topology, policy) the queueing and link-busy picture, plus the
+// latency-tolerance sweep on the baseline rows ("-" elsewhere).
+func Congestion(w io.Writer, rows []core.CongestionRow, csv bool) error {
+	header := []string{
+		"Workload", "Ranks", "Topology", "Policy", "Msgs",
+		"MeanLat[us]", "Queue[us]", "Delayed[%]",
+		"p50Busy[%]", "p99Busy[%]", "MaxBusy[%]", "MaxQ", "Hotspot[%]",
+		"Detour[%]", "Tol[us/hop]",
+	}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		tol := "-"
+		if r.Tolerance != nil {
+			tol = f2(r.Tolerance.PerHopSeconds * 1e6)
+			if r.Tolerance.Saturated {
+				tol = ">=" + tol
+			}
+		}
+		out[i] = []string{
+			r.App, strconv.Itoa(r.Ranks), r.Topology, r.Policy, strconv.Itoa(r.Messages),
+			f2(r.MeanLatency * 1e6),
+			f2(r.MeanQueueDelay * 1e6),
+			f1(100 * r.DelayedShare),
+			fu(r.P50LinkBusyPct),
+			fu(r.P99LinkBusyPct),
+			fu(r.MaxLinkBusyPct),
+			strconv.Itoa(r.MaxQueueDepth),
+			f1(100 * r.HotspotPersistence),
+			f1(100 * r.DetourShare),
+			tol,
+		}
+	}
+	if csv {
+		return writeCSV(w, header, out)
+	}
+	return writeTable(w, header, out)
+}
+
 // Scorecard renders the quantitative reproduction scorecard.
 func Scorecard(w io.Writer, rows []core.ScoreRow, csv bool) error {
 	header := []string{"Claim", "Paper", "Measured", "Dev[%]", "Verdict"}

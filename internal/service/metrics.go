@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"netloc/internal/design"
@@ -30,6 +31,11 @@ var pipelineCountNames = []string{
 	"design_configs", "design_candidates",
 }
 
+// congestCountNames are the temporal-simulator work counts; they get
+// their own netloc_congest_* series (and "congest" snapshot block) so
+// congestion-study load is visible separately from the static pipeline.
+var congestCountNames = []string{"congest_sims", "congest_messages", "congest_probes"}
+
 // endpointMetrics groups one endpoint's series.
 type endpointMetrics struct {
 	requests *obs.Counter
@@ -52,6 +58,7 @@ type metricsRegistry struct {
 
 	queueWait *obs.Histogram
 	pipeline  map[string]*obs.Counter
+	congest   map[string]*obs.Counter
 	workcache *workcache.Cache
 }
 
@@ -67,6 +74,7 @@ func newMetricsRegistry(endpoints []string) *metricsRegistry {
 		deduped:      reg.Counter("netloc_compute_deduped_total", "Requests served by joining an identical in-flight computation."),
 		queueWait:    reg.Histogram("netloc_engine_queue_wait_ms", "Time requests waited for a worker token.", queueWaitBucketsMs),
 		pipeline:     make(map[string]*obs.Counter, len(pipelineCountNames)),
+		congest:      make(map[string]*obs.Counter, len(congestCountNames)),
 	}
 	for _, ep := range endpoints {
 		m.endpoints[ep] = &endpointMetrics{
@@ -77,6 +85,9 @@ func newMetricsRegistry(endpoints []string) *metricsRegistry {
 	}
 	for _, name := range pipelineCountNames {
 		m.pipeline[name] = reg.Counter("netloc_pipeline_"+name+"_total", "Pipeline work units ("+name+") processed.")
+	}
+	for _, name := range congestCountNames {
+		m.congest[name] = reg.Counter("netloc_"+name+"_total", "Temporal congestion-simulator work units ("+name+") processed.")
 	}
 	return m
 }
@@ -158,6 +169,9 @@ func (m *metricsRegistry) absorbRun(d obs.SpanData) {
 		if c, ok := m.pipeline[k]; ok && v > 0 {
 			c.Add(v)
 		}
+		if c, ok := m.congest[k]; ok && v > 0 {
+			c.Add(v)
+		}
 	}
 }
 
@@ -198,6 +212,12 @@ func (m *metricsRegistry) snapshot(cacheEntries int, cacheEvictions int64, engin
 	for _, name := range pipelineCountNames {
 		pipeline[name] = m.pipeline[name].Value()
 	}
+	congest := map[string]any{}
+	for _, name := range congestCountNames {
+		// Snapshot keys drop the series' "congest_" prefix: the block is
+		// already named congest.
+		congest[strings.TrimPrefix(name, "congest_")] = m.congest[name].Value()
+	}
 	ws := m.workcache.Stats()
 	return map[string]any{
 		"workcache": map[string]any{
@@ -225,6 +245,7 @@ func (m *metricsRegistry) snapshot(cacheEntries int, cacheEvictions int64, engin
 			"queue_wait_ms": histogramJSON(m.queueWait),
 		},
 		"pipeline":  pipeline,
+		"congest":   congest,
 		"endpoints": eps,
 	}
 }

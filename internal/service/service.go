@@ -20,7 +20,8 @@
 //	                                Prometheus text via ?format=prom)
 //	GET  /v1/experiments            list experiments with descriptions
 //	GET  /v1/experiments/{name}     run one experiment (table1..4, fig1,
-//	                                fig3..5, sim, score, claims); query
+//	                                fig3..5, sim, congestion, score,
+//	                                claims); query
 //	                                params: app, ranks, rank, minranks,
 //	                                coverage, strategy, maxranks
 //	GET  /v1/analyze                analyze one workload configuration;
@@ -34,6 +35,11 @@
 //	                                mappings, constraints, weights)
 //	POST /v1/design/trace           design search over an uploaded .nlt
 //	                                trace; constraints via query params
+//	POST /v1/congestion             temporal congestion study over a
+//	                                workload × topology × routing-policy
+//	                                grid, with latency-tolerance sweeps
+//	                                (JSON body: workloads, policies,
+//	                                growth_pct, max_ranks; all optional)
 //	POST /v1/design/jobs            submit an async design search job
 //	GET  /v1/design/jobs            list retained design jobs
 //	GET  /v1/design/jobs/{id}       poll one job (progress, then sheet)
@@ -120,7 +126,7 @@ type Server struct {
 // endpointNames are the instrumentation keys of the metrics registry.
 var endpointNames = []string{
 	"healthz", "metrics", "experiments", "analyze", "topologies", "traces",
-	"design", "design_jobs", "debug",
+	"design", "design_jobs", "congestion", "debug",
 }
 
 // New constructs a Server with the given options.
@@ -161,6 +167,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/design/jobs", s.instrument("design_jobs", s.handleDesignJobList))
 	s.mux.HandleFunc("GET /v1/design/jobs/{id}", s.instrument("design_jobs", s.handleDesignJobGet))
 	s.mux.HandleFunc("DELETE /v1/design/jobs/{id}", s.instrument("design_jobs", s.handleDesignJobCancel))
+	s.mux.HandleFunc("POST /v1/congestion", s.instrument("congestion", s.handleCongestion))
 	s.mux.HandleFunc("GET /v1/debug/runs", s.instrument("debug", s.handleDebugRuns))
 	return s
 }

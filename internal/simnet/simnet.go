@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"netloc/internal/comm"
 	"netloc/internal/mapping"
@@ -39,7 +40,14 @@ type Options struct {
 	MaxMessages int
 }
 
-func (o Options) withDefaults() Options {
+// Normalize fills in defaults (a zero value means "use the default")
+// and validates the result. Explicitly non-positive or non-finite
+// bandwidth, packet sizes, and message caps used to be accepted
+// silently and produced nonsense simulations (negative latencies,
+// divide-by-zero serialization times); now every problem is rejected in
+// one listing-style error. internal/congest shares this validation for
+// the option fields the two simulators have in common.
+func (o Options) Normalize() (Options, error) {
 	if o.BandwidthBytesPerSec == 0 {
 		o.BandwidthBytesPerSec = 12e9
 	}
@@ -49,7 +57,21 @@ func (o Options) withDefaults() Options {
 	if o.MaxMessages == 0 {
 		o.MaxMessages = 4 << 20
 	}
-	return o
+	var probs []string
+	// !(x > 0) also catches NaN, which compares false to everything.
+	if !(o.BandwidthBytesPerSec > 0) || math.IsInf(o.BandwidthBytesPerSec, 1) {
+		probs = append(probs, fmt.Sprintf("bandwidth %g B/s (need a positive, finite rate)", o.BandwidthBytesPerSec))
+	}
+	if o.PacketBytes < 0 {
+		probs = append(probs, fmt.Sprintf("packet size %d B (need > 0)", o.PacketBytes))
+	}
+	if o.MaxMessages < 0 {
+		probs = append(probs, fmt.Sprintf("message cap %d (need > 0)", o.MaxMessages))
+	}
+	if len(probs) > 0 {
+		return o, fmt.Errorf("simnet: invalid options: %s", strings.Join(probs, "; "))
+	}
+	return o, nil
 }
 
 // Stats summarizes a simulation run.
@@ -110,7 +132,10 @@ type message struct {
 
 // Simulate replays the trace's wire messages over the topology.
 func Simulate(t *trace.Trace, topo topology.Topology, mp *mapping.Mapping, opts Options) (*Stats, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	if mp.Ranks() < t.Meta.Ranks {
 		return nil, fmt.Errorf("simnet: mapping covers %d ranks, trace has %d", mp.Ranks(), t.Meta.Ranks)
 	}

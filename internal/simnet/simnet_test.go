@@ -3,6 +3,7 @@ package simnet
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"netloc/internal/mapping"
@@ -239,6 +240,61 @@ func TestSimulateValidation(t *testing.T) {
 	}
 	if _, err := Simulate(tr, topo, consecutive(t, 8, 8), Options{MaxMessages: -1}); err == nil {
 		t.Fatal("message limit not enforced")
+	}
+}
+
+// Regression: withDefaults silently accepted non-positive bandwidth and
+// packet sizes (a zero value means "use the default", but explicit
+// negatives flowed straight into the latency math). Normalize must
+// reject them with a listing-style error naming every bad field.
+func TestOptionsNormalizeRejectsNonPositive(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want []string // substrings the error must mention
+	}{
+		{"negative bandwidth", Options{BandwidthBytesPerSec: -1}, []string{"bandwidth"}},
+		{"NaN bandwidth", Options{BandwidthBytesPerSec: math.NaN()}, []string{"bandwidth"}},
+		{"infinite bandwidth", Options{BandwidthBytesPerSec: math.Inf(1)}, []string{"bandwidth"}},
+		{"negative packet size", Options{PacketBytes: -4096}, []string{"packet size"}},
+		{"negative message cap", Options{MaxMessages: -1}, []string{"message cap"}},
+		{
+			"everything at once",
+			Options{BandwidthBytesPerSec: -12e9, PacketBytes: -1, MaxMessages: -7},
+			[]string{"bandwidth", "packet size", "message cap"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.opts.Normalize()
+			if err == nil {
+				t.Fatalf("Normalize(%+v) accepted invalid options", c.opts)
+			}
+			for _, w := range c.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q does not mention %q", err, w)
+				}
+			}
+		})
+	}
+	// The zero value still means "use the defaults" — nothing may break
+	// the Options{} callers all over the tree.
+	o, err := Options{}.Normalize()
+	if err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	if o.BandwidthBytesPerSec != 12e9 || o.PacketBytes == 0 || o.MaxMessages == 0 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+	// Simulate rejects the same options end to end.
+	tr := &trace.Trace{
+		Meta: trace.Meta{App: "s", Ranks: 8, WallTime: 1},
+		Events: []trace.Event{
+			{Rank: 0, Op: trace.OpSend, Peer: 1, Root: -1, Bytes: 100},
+		},
+	}
+	if _, err := Simulate(tr, torus222(t), consecutive(t, 8, 8), Options{BandwidthBytesPerSec: -5}); err == nil {
+		t.Fatal("Simulate accepted negative bandwidth")
 	}
 }
 

@@ -1,6 +1,11 @@
 package topology
 
-import "testing"
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
 
 func newValiant(t *testing.T, a, h, p int) *Valiant {
 	t.Helper()
@@ -128,6 +133,81 @@ func TestValiantDeterministicPerSeed(t *testing.T) {
 	}
 	if !diff {
 		t.Fatal("different seeds produced identical routes everywhere (suspicious)")
+	}
+}
+
+// TestValiantPivotGroupsDeterministic pins the stronger claim behind
+// TestValiantDeterministicPerSeed: two instances with the same seed pick
+// the exact same pivot group for every inter-group pair — not merely
+// equal hop counts — so a simulation can be re-run anywhere and replay
+// identical detours.
+func TestValiantPivotGroupsDeterministic(t *testing.T) {
+	d, err := NewDragonfly(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := NewValiant(d, 7)
+	v2, _ := NewValiant(d, 7)
+	for src := 0; src < v1.Nodes(); src++ {
+		for dst := 0; dst < v1.Nodes(); dst++ {
+			if src/8 == dst/8 {
+				continue // intra-group traffic has no pivot
+			}
+			if g1, g2 := v1.pivotGroup(src, dst), v2.pivotGroup(src, dst); g1 != g2 {
+				t.Fatalf("pivotGroup(%d,%d) = %d vs %d across same-seed instances", src, dst, g1, g2)
+			}
+		}
+	}
+}
+
+// TestValiantConcurrentRoutesIdentical routes the same pairs from many
+// goroutines on one shared instance: results must match the sequential
+// reference, and the run must be clean under -race (ci.sh re-runs it
+// with forced worker counts).
+func TestValiantConcurrentRoutesIdentical(t *testing.T) {
+	v := newValiant(t, 4, 2, 2)
+	type pair struct{ src, dst int }
+	var pairs []pair
+	ref := make(map[pair][]int)
+	for src := 0; src < v.Nodes(); src += 3 {
+		for dst := 0; dst < v.Nodes(); dst += 5 {
+			if src == dst {
+				continue
+			}
+			p, err := v.Route(src, dst, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairs = append(pairs, pair{src, dst})
+			ref[pair{src, dst}] = p
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var buf []int
+			for _, p := range pairs {
+				var err error
+				buf, err = v.Route(p.src, p.dst, buf)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !reflect.DeepEqual(buf, ref[p]) {
+					errs[g] = fmt.Errorf("concurrent route %d->%d diverged from sequential reference", p.src, p.dst)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

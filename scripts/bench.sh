@@ -16,7 +16,7 @@ BENCHTIME="${BENCHTIME:-1x}"
 DATE="$(date -u +%Y-%m-%d)"
 OUT="${BENCH_OUT:-BENCH_${DATE}.json}"
 PKGS="./internal/simnet ./internal/netmodel ./internal/comm"
-HEADLINE='^(BenchmarkTable1Overview|BenchmarkTable3Characterization|BenchmarkTable3Sequential|BenchmarkTable3Parallel|BenchmarkHeadlineClaims|BenchmarkDesignSearchSmall)$'
+HEADLINE='^(BenchmarkTable1Overview|BenchmarkTable3Characterization|BenchmarkTable3Sequential|BenchmarkTable3Parallel|BenchmarkHeadlineClaims|BenchmarkDesignSearchSmall|BenchmarkCongestionLULESH64)$'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -30,7 +30,7 @@ go test -race ./...
 # concurrent paths.
 echo "=== go test -race (parallel engine, forced workers) ==="
 go test -race -run 'Parallel|Determin|Budget|ForEach|Singleflight|Concurrent|Span|Registry|Job' \
-    ./internal/parallel ./internal/comm ./internal/metrics ./internal/core ./internal/service ./internal/obs ./internal/design ./internal/workcache .
+    ./internal/parallel ./internal/comm ./internal/metrics ./internal/core ./internal/service ./internal/obs ./internal/design ./internal/workcache ./internal/congest ./internal/topology .
 
 echo "=== examples ==="
 sh scripts/run_examples.sh
