@@ -577,7 +577,7 @@ func BenchmarkCongestionLULESH64(b *testing.B) {
 	// Shared artifact cache, as the service and harness run it.
 	opts := core.Options{Cache: workcache.New(0)}
 	for i := 0; i < b.N; i++ {
-		rows, err := core.CongestionTable(refs, nil, -1, opts)
+		rows, err := core.CongestionTable(refs, nil, nil, -1, opts)
 		if err != nil {
 			b.Fatal(err)
 		}

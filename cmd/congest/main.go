@@ -1,13 +1,15 @@
 // Command congest runs the temporal congestion study offline: each
 // requested workload is replayed through internal/congest's event-driven
-// simulator on its Table 2 torus, fat tree, and dragonfly under the
-// selected routing policies, with an optional latency-tolerance sweep on
-// the baseline rows. It is the CLI twin of netlocd's POST /v1/congestion.
+// simulator on one sized topology per requested family (default the
+// paper's Table 2 torus, fat tree, and dragonfly) under the selected
+// routing policies, with an optional latency-tolerance sweep on the
+// baseline rows. It is the CLI twin of netlocd's POST /v1/congestion.
 //
 // Usage:
 //
 //	congest                                       # default grid, all policies
 //	congest -workloads LULESH/64,BigFFT/100       # pick the workload cells
+//	congest -families slimfly,hyperx              # beyond the paper's trio
 //	congest -policies minimal,ugal -growth 10     # policies and sweep threshold
 //	congest -growth -1                            # disable the tolerance sweep
 //	congest -list                                 # list workloads and policies
@@ -15,6 +17,7 @@
 // Flags:
 //
 //	-workloads string  comma-separated App/ranks cells (default the study grid)
+//	-families string   comma-separated topology families (default torus,fattree,dragonfly)
 //	-policies string   comma-separated routing policies (default all)
 //	-growth float      tolerance sweep threshold in percent (0 = default, <0 = off)
 //	-maxranks int      cap the grid at this rank count (0 = no cap)
@@ -40,6 +43,7 @@ import (
 func main() {
 	var (
 		workloads = flag.String("workloads", "", "comma-separated App/ranks cells (default the study grid)")
+		families  = flag.String("families", "", "comma-separated topology families (default torus,fattree,dragonfly)")
 		policies  = flag.String("policies", "", "comma-separated routing policies (default all)")
 		growth    = flag.Float64("growth", 0, "tolerance sweep threshold in percent (0 = default, <0 = off)")
 		maxRanks  = flag.Int("maxranks", 0, "cap the grid at this rank count (0 = no cap)")
@@ -54,6 +58,10 @@ func main() {
 		for _, ref := range core.CongestionWorkloads {
 			fmt.Printf("  %s/%d\n", ref.App, ref.Ranks)
 		}
+		fmt.Println("families:")
+		for _, fam := range core.AnalysisKinds() {
+			fmt.Printf("  %s\n", fam)
+		}
 		fmt.Println("policies:")
 		for _, p := range congest.Policies() {
 			fmt.Printf("  %s\n", p)
@@ -65,12 +73,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "congest:", err)
 		os.Exit(1)
 	}
-	var pols []string
+	var fams, pols []string
+	if *families != "" {
+		fams = strings.Split(*families, ",")
+	}
 	if *policies != "" {
 		pols = strings.Split(*policies, ",")
 	}
 	opts := core.Options{Parallelism: *workers, MaxRanks: *maxRanks}
-	if err := run(os.Stdout, refs, pols, *growth, opts, *csv, *asJSON); err != nil {
+	if err := run(os.Stdout, refs, fams, pols, *growth, opts, *csv, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "congest:", err)
 		os.Exit(1)
 	}
@@ -97,8 +108,8 @@ func parseWorkloads(s string) ([]core.WorkloadRef, error) {
 	return refs, nil
 }
 
-func run(w io.Writer, refs []core.WorkloadRef, policies []string, growth float64, opts core.Options, csv, asJSON bool) error {
-	rows, err := core.CongestionTable(refs, policies, growth, opts)
+func run(w io.Writer, refs []core.WorkloadRef, families, policies []string, growth float64, opts core.Options, csv, asJSON bool) error {
+	rows, err := core.CongestionTable(refs, families, policies, growth, opts)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 //	netdesign -app milc -ranks 512                  # full sweep, text sheet
 //	netdesign -app LULESH -ranks 512 -radix 24      # constrain the switch radix
 //	netdesign -trace run.nlt -families torus,mesh   # design for a recorded trace
+//	netdesign -families slimfly,jellyfish,hyperx    # extreme-scale families only
 //	netdesign -apps                                 # list accepted workloads
 //
 // Flags:

@@ -1,49 +1,98 @@
 // Command topostat inspects the topology models: configuration selection,
 // link inventories, and hop-distance histograms under uniform traffic.
+// Beyond the paper's Table 2 trio it sizes and describes the
+// extreme-scale families (Slim Fly, Jellyfish, HyperX).
 //
 // Usage:
 //
-//	topostat -size 216            # Table 2 row + stats for 216 ranks
-//	topostat -kind torus -size 64 # one topology only
+//	topostat -size 216              # all families sized for 216 ranks
+//	topostat -kind torus -size 64   # one family only
+//	topostat -kind slimfly -size 64 # one of the extreme-scale families
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"netloc/internal/topology"
 )
 
+// sizers lists every family with its configuration selector, in the
+// fixed output order: the paper trio first, then the extreme-scale
+// families.
+var sizers = []struct {
+	kind string
+	fn   func(int) (topology.Config, error)
+}{
+	{"torus", topology.TorusConfig},
+	{"fattree", topology.FatTreeConfig},
+	{"dragonfly", topology.DragonflyConfig},
+	{"slimfly", topology.SlimFlyConfig},
+	{"jellyfish", topology.JellyfishConfig},
+	{"hyperx", topology.HyperXConfig},
+}
+
 func main() {
 	var (
 		size = flag.Int("size", 64, "rank count to configure for")
-		kind = flag.String("kind", "", "restrict to torus|fattree|dragonfly")
+		kind = flag.String("kind", "", "restrict to one family (torus|fattree|dragonfly|slimfly|jellyfish|hyperx)")
 	)
 	flag.Parse()
-	if err := run(*size, *kind); err != nil {
+	if err := run(os.Stdout, *size, *kind); err != nil {
 		fmt.Fprintln(os.Stderr, "topostat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(size int, kind string) error {
-	tor, ft, df, err := topology.Configs(size)
-	if err != nil {
-		return err
+func run(w io.Writer, size int, kind string) error {
+	// Size every requested family before describing any, so an invalid
+	// size fails fast instead of after an expensive histogram. On the
+	// all-families listing an extreme-scale sizer with no valid
+	// configuration is noted and skipped; a paper-trio sizer error, or
+	// any error on an explicitly requested family, aborts the run.
+	type block struct {
+		kind string
+		cfg  topology.Config
+		skip error
 	}
-	for _, cfg := range []topology.Config{tor, ft, df} {
-		if kind != "" && cfg.Kind != kind {
+	var blocks []block
+	for _, s := range sizers {
+		if kind != "" && s.kind != kind {
 			continue
 		}
-		if err := describe(cfg, size); err != nil {
+		cfg, err := s.fn(size)
+		if err != nil {
+			if kind == "" && s.kind != "torus" && s.kind != "fattree" && s.kind != "dragonfly" {
+				blocks = append(blocks, block{kind: s.kind, skip: err})
+				continue
+			}
+			return err
+		}
+		blocks = append(blocks, block{kind: s.kind, cfg: cfg})
+	}
+	if len(blocks) == 0 {
+		kinds := make([]string, len(sizers))
+		for i, s := range sizers {
+			kinds[i] = s.kind
+		}
+		return fmt.Errorf("unknown kind %q (known: %s)", kind, strings.Join(kinds, ", "))
+	}
+	for _, b := range blocks {
+		if b.skip != nil {
+			fmt.Fprintf(w, "%s: no configuration for %d ranks (%v)\n", b.kind, size, b.skip)
+			continue
+		}
+		if err := describe(w, b.cfg, size); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func describe(cfg topology.Config, ranks int) error {
+func describe(w io.Writer, cfg topology.Config, ranks int) error {
 	topo, err := cfg.Build()
 	if err != nil {
 		return err
@@ -60,10 +109,10 @@ func describe(cfg topology.Config, ranks int) error {
 			global++
 		}
 	}
-	fmt.Printf("%s %s: %d nodes (%d ranks mapped), %d vertices, %d links (%d terminal, %d local, %d global)\n",
+	fmt.Fprintf(w, "%s %s: %d nodes (%d ranks mapped), %d vertices, %d links (%d terminal, %d local, %d global)\n",
 		cfg.Kind, cfg, topo.Nodes(), ranks, topo.NumVertices(), len(topo.Links()), term, local, global)
 	cost := topology.CostOf(topo)
-	fmt.Printf("  cost: %d switches, %d links, %d ports (%.1f units)\n",
+	fmt.Fprintf(w, "  cost: %d switches, %d links, %d ports (%.1f units)\n",
 		cost.Switches, cost.Links, cost.Ports, cost.Units())
 
 	// Hop histogram over the mapped rank pairs (consecutive mapping).
@@ -84,12 +133,12 @@ func describe(cfg topology.Config, ranks int) error {
 			}
 		}
 	}
-	fmt.Printf("  uniform pairs: avg hops %.3f, diameter (over mapped ranks) %d\n", total/float64(pairs), maxHops)
+	fmt.Fprintf(w, "  uniform pairs: avg hops %.3f, diameter (over mapped ranks) %d\n", total/float64(pairs), maxHops)
 	for h := 0; h <= maxHops; h++ {
 		if hist[h] == 0 {
 			continue
 		}
-		fmt.Printf("  %2d hops: %7d pairs (%5.1f%%)\n", h, hist[h], 100*float64(hist[h])/float64(pairs))
+		fmt.Fprintf(w, "  %2d hops: %7d pairs (%5.1f%%)\n", h, hist[h], 100*float64(hist[h])/float64(pairs))
 	}
 	return nil
 }

@@ -67,6 +67,33 @@ func dragonfly(t *testing.T, ranks int) topology.Topology {
 	return topo
 }
 
+func slimfly(t *testing.T, q, p int) topology.Topology {
+	t.Helper()
+	topo, err := topology.NewSlimFly(q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func jellyfish(t *testing.T, s, r, p int, seed uint64) topology.Topology {
+	t.Helper()
+	topo, err := topology.NewJellyfish(s, r, p, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func hyperx(t *testing.T, s1, s2, s3, p int) topology.Topology {
+	t.Helper()
+	topo, err := topology.NewHyperX(s1, s2, s3, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
 // sendTrace builds a trace of explicit point-to-point sends.
 type send struct {
 	src, dst int

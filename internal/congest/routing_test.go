@@ -7,13 +7,18 @@ import (
 	"netloc/internal/topology"
 )
 
-// testTopos builds one small instance of each family.
+// testTopos builds one small instance of each family, including the
+// extreme-scale families: every routing policy (ECMP's flow hashing,
+// Valiant's generic pivot) must work on them unmodified.
 func testTopos(t *testing.T) map[string]topology.Topology {
 	t.Helper()
 	return map[string]topology.Topology{
 		"torus":     torus(t, 4, 4, 1),
 		"fattree":   fattree(t, 16),
 		"dragonfly": dragonfly(t, 64),
+		"slimfly":   slimfly(t, 5, 1),
+		"jellyfish": jellyfish(t, 12, 4, 2, 7),
+		"hyperx":    hyperx(t, 3, 3, 1, 2),
 	}
 }
 

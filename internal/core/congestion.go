@@ -33,18 +33,22 @@ var CongestionWorkloads = []WorkloadRef{
 	{App: "BigFFT", Ranks: 100},
 }
 
-// CongestionTable replays each configuration on its Table 2 torus, fat
-// tree, and dragonfly under every requested routing policy (nil means
-// all of congest.Policies, baseline first). growthPct sets the
-// latency-tolerance threshold swept on each (workload, topology)
-// baseline row: zero means congest.DefaultGrowthPct, negative disables
-// the sweep. Configurations fan out over the worker budget exactly like
-// SimTable; rows stay in grid order (workload, topology, policy)
-// regardless of Options.Parallelism.
-func CongestionTable(refs []WorkloadRef, policies []string, growthPct float64, opts Options) ([]CongestionRow, error) {
+// CongestionTable replays each configuration on one sized topology per
+// requested family (nil families means the paper's torus, fat tree, and
+// dragonfly; see AnalysisKinds for the accepted names) under every
+// requested routing policy (nil means all of congest.Policies, baseline
+// first). growthPct sets the latency-tolerance threshold swept on each
+// (workload, topology) baseline row: zero means congest.DefaultGrowthPct,
+// negative disables the sweep. Configurations fan out over the worker
+// budget exactly like SimTable; rows stay in grid order (workload,
+// topology, policy) regardless of Options.Parallelism.
+func CongestionTable(refs []WorkloadRef, families, policies []string, growthPct float64, opts Options) ([]CongestionRow, error) {
 	opts = opts.withEngine()
 	if len(refs) == 0 {
 		refs = CongestionWorkloads
+	}
+	if len(families) == 0 {
+		families = []string{"torus", "fattree", "dragonfly"}
 	}
 	if len(policies) == 0 {
 		policies = congest.Policies()
@@ -70,12 +74,16 @@ func CongestionTable(refs []WorkloadRef, policies []string, growthPct float64, o
 		if err != nil {
 			return nil, err
 		}
-		torCfg, ftCfg, dfCfg, err := topology.Configs(ref.Ranks)
-		if err != nil {
-			return nil, err
+		cfgs := make([]topology.Config, 0, len(families))
+		for _, fam := range families {
+			cfg, err := ConfigFor(fam, ref.Ranks)
+			if err != nil {
+				return nil, err
+			}
+			cfgs = append(cfgs, cfg)
 		}
-		rows := make([]CongestionRow, 0, 3*len(policies))
-		for _, cfg := range []topology.Config{torCfg, ftCfg, dfCfg} {
+		rows := make([]CongestionRow, 0, len(cfgs)*len(policies))
+		for _, cfg := range cfgs {
 			topo, err := opts.Cache.Topology(cfg, cfg.Build)
 			if err != nil {
 				return nil, err

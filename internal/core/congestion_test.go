@@ -16,7 +16,7 @@ var testCongestionRefs = []WorkloadRef{
 }
 
 func TestCongestionTableGrid(t *testing.T) {
-	rows, err := CongestionTable(testCongestionRefs, nil, 0, Options{Parallelism: 1})
+	rows, err := CongestionTable(testCongestionRefs, nil, nil, 0, Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,12 +55,12 @@ func TestCongestionTableGrid(t *testing.T) {
 // TestCongestionTableDeterministicAcrossWorkers pins the acceptance
 // claim: the congestion grid is byte-identical at every worker count.
 func TestCongestionTableDeterministicAcrossWorkers(t *testing.T) {
-	seq, err := CongestionTable(testCongestionRefs, nil, 0, Options{Parallelism: 1})
+	seq, err := CongestionTable(testCongestionRefs, nil, nil, 0, Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{4, 16} {
-		par, err := CongestionTable(testCongestionRefs, nil, 0, Options{
+		par, err := CongestionTable(testCongestionRefs, nil, nil, 0, Options{
 			Parallelism: workers, Cache: workcache.New(0),
 		})
 		if err != nil {
@@ -74,7 +74,7 @@ func TestCongestionTableDeterministicAcrossWorkers(t *testing.T) {
 
 func TestCongestionTableOptions(t *testing.T) {
 	// A negative growth threshold disables the tolerance sweep entirely.
-	rows, err := CongestionTable(testCongestionRefs[:1], []string{congest.PolicyMinimal}, -1, Options{Parallelism: 1})
+	rows, err := CongestionTable(testCongestionRefs[:1], nil, []string{congest.PolicyMinimal}, -1, Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestCongestionTableOptions(t *testing.T) {
 		}
 	}
 	// MaxRanks caps the grid like every other experiment driver.
-	rows, err = CongestionTable(testCongestionRefs, []string{congest.PolicyMinimal}, -1, Options{Parallelism: 1, MaxRanks: 64})
+	rows, err = CongestionTable(testCongestionRefs, nil, []string{congest.PolicyMinimal}, -1, Options{Parallelism: 1, MaxRanks: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,33 @@ func TestCongestionTableOptions(t *testing.T) {
 		}
 	}
 	// Unknown policies surface congest's validation error.
-	if _, err := CongestionTable(testCongestionRefs[:1], []string{"psychic"}, -1, Options{Parallelism: 1}); err == nil {
+	if _, err := CongestionTable(testCongestionRefs[:1], nil, []string{"psychic"}, -1, Options{Parallelism: 1}); err == nil {
 		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestCongestionTableFamilies runs the grid on the extreme-scale
+// families: the families argument replaces the paper trio and the rows
+// keep grid order (workload, family, policy).
+func TestCongestionTableFamilies(t *testing.T) {
+	fams := []string{"slimfly", "jellyfish", "hyperx"}
+	rows, err := CongestionTable(testCongestionRefs[:1], fams, []string{congest.PolicyMinimal}, -1, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(fams) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(fams))
+	}
+	for i, r := range rows {
+		if r.Topology != fams[i] {
+			t.Fatalf("row %d: topology %s, want %s", i, r.Topology, fams[i])
+		}
+		if r.Messages == 0 || r.Makespan <= 0 {
+			t.Fatalf("row %d: empty stats %+v", i, r.Stats)
+		}
+	}
+	// Unknown families fail fast with the listing error from ConfigFor.
+	if _, err := CongestionTable(testCongestionRefs[:1], []string{"moebius"}, nil, -1, Options{Parallelism: 1}); err == nil {
+		t.Fatal("unknown family accepted")
 	}
 }

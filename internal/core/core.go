@@ -172,6 +172,13 @@ type Analysis struct {
 	FatTree   *TopoResult
 	Dragonfly *TopoResult
 
+	// Extreme-scale families beyond the paper's study, populated only
+	// when AnalyzeAppOn selects them explicitly (omitted from JSON
+	// otherwise, so the paper-table encodings stay byte-stable).
+	SlimFly   *TopoResult `json:",omitempty"`
+	Jellyfish *TopoResult `json:",omitempty"`
+	HyperX    *TopoResult `json:",omitempty"`
+
 	// Acc retains the accumulated matrices for follow-up analyses
 	// (figures, multi-core study, mapping experiments). It is excluded
 	// from JSON encodings: the matrices are large and internal.
@@ -333,8 +340,15 @@ func BuildMapping(name string, acc *comm.Accumulated, topo topology.Topology) (*
 	return nil, fmt.Errorf("core: unknown mapping %q (known: %v)", name, MappingNames())
 }
 
-// ConfigFor returns the Table 2 configuration of one topology kind for a
-// rank count.
+// AnalysisKinds lists the topology kinds AnalyzeAppOn accepts: the
+// paper's three families plus the extreme-scale additions.
+func AnalysisKinds() []string {
+	return []string{"torus", "fattree", "dragonfly", "slimfly", "jellyfish", "hyperx"}
+}
+
+// ConfigFor returns the sized configuration of one topology kind for a
+// rank count: the Table 2 entry for the paper's families, the ladder
+// sizing for the extreme-scale ones.
 func ConfigFor(kind string, ranks int) (topology.Config, error) {
 	switch kind {
 	case "torus":
@@ -343,8 +357,14 @@ func ConfigFor(kind string, ranks int) (topology.Config, error) {
 		return topology.FatTreeConfig(ranks)
 	case "dragonfly":
 		return topology.DragonflyConfig(ranks)
+	case "slimfly":
+		return topology.SlimFlyConfig(ranks)
+	case "jellyfish":
+		return topology.JellyfishConfig(ranks)
+	case "hyperx":
+		return topology.HyperXConfig(ranks)
 	}
-	return topology.Config{}, fmt.Errorf("core: unknown topology %q (known: torus, fattree, dragonfly)", kind)
+	return topology.Config{}, fmt.Errorf("core: unknown topology %q (known: %v)", kind, AnalysisKinds())
 }
 
 func runTopology(acc *comm.Accumulated, cfg topology.Config, mappingName string, opts Options, parent *obs.Span) (*TopoResult, error) {
@@ -388,7 +408,7 @@ func runTopology(acc *comm.Accumulated, cfg topology.Config, mappingName string,
 }
 
 // AnalyzeAppOn analyzes one workload configuration on a selected topology
-// kind ("torus", "fattree", "dragonfly", or "" / "all" for all three)
+// kind (see AnalysisKinds; "" / "all" means the paper's three families)
 // under a named rank→node mapping (see MappingNames; "" means
 // consecutive). It backs the service's /v1/analyze endpoint. The returned
 // Analysis carries only the selected topology block(s); Acc is released.
@@ -426,6 +446,12 @@ func AnalyzeAppOn(name string, ranks int, topoKind, mappingName string, opts Opt
 			a.FatTree = results[i]
 		case "dragonfly":
 			a.Dragonfly = results[i]
+		case "slimfly":
+			a.SlimFly = results[i]
+		case "jellyfish":
+			a.Jellyfish = results[i]
+		case "hyperx":
+			a.HyperX = results[i]
 		}
 	}
 	a.Acc = nil

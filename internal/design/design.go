@@ -41,8 +41,11 @@ import (
 )
 
 // Families lists the topology families the optimizer can sweep, in the
-// canonical sheet order.
-func Families() []string { return []string{"torus", "mesh", "fattree", "dragonfly"} }
+// canonical sheet order: the paper's families (plus mesh) first, then the
+// extreme-scale families (Slim Fly, Jellyfish, HyperX).
+func Families() []string {
+	return []string{"torus", "mesh", "fattree", "dragonfly", "slimfly", "jellyfish", "hyperx"}
+}
 
 // DefaultMappings are the mapping strategies a search sweeps when the
 // request names none: the paper's consecutive baseline plus the greedy
@@ -312,6 +315,12 @@ func Candidates(ranks int, families []string, c Constraints) ([]topology.Config,
 			out = append(out, fatTreeConfigs(ranks, c)...)
 		case "dragonfly":
 			out = append(out, dragonflyConfigs(ranks, c)...)
+		case "slimfly":
+			out = append(out, slimFlyConfigs(ranks, c)...)
+		case "jellyfish":
+			out = append(out, jellyfishConfigs(ranks, c)...)
+		case "hyperx":
+			out = append(out, hyperxConfigs(ranks, c)...)
 		default:
 			return nil, fmt.Errorf("design: unknown family %q (known: %v)", fam, Families())
 		}
@@ -452,6 +461,141 @@ func dragonflyConfigs(ranks int, c Constraints) []topology.Config {
 		}
 		if out[i].H != out[j].H {
 			return out[i].H < out[j].H
+		}
+		return out[i].P < out[j].P
+	})
+	if len(out) > c.maxCandidates() {
+		out = out[:c.maxCandidates()]
+	}
+	return out
+}
+
+// slimFlyQLadder mirrors the topology package's sizing ladder: the MMS
+// field orders with 2q² routers each.
+var slimFlyQLadder = []int{5, 7, 11, 13, 17, 19, 23, 25}
+
+// slimFlyConfigs enumerates ladder Slim Flies whose router count covers
+// the ranks with at most the balanced endpoint load p ≤ ⌈k/2⌉ and whose
+// radix k+p fits the cap, sorted by (nodes, q).
+func slimFlyConfigs(ranks int, c Constraints) []topology.Config {
+	var out []topology.Config
+	for _, q := range slimFlyQLadder {
+		routers := 2 * q * q
+		delta := 1
+		if q%4 == 3 {
+			delta = -1
+		}
+		k := (3*q - delta) / 2
+		p := (ranks + routers - 1) / routers
+		if p > (k+1)/2 {
+			continue // endpoint load beyond balanced — q too small
+		}
+		if k+p > c.maxRadix() {
+			continue
+		}
+		nodes := routers * p
+		if nodes > maxNodeSlack*ranks {
+			continue
+		}
+		out = append(out, topology.Config{
+			Kind: "slimfly", Size: ranks, Nodes: nodes, Q: q, P: p,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nodes != out[j].Nodes {
+			return out[i].Nodes < out[j].Nodes
+		}
+		return out[i].Q < out[j].Q
+	})
+	if len(out) > c.maxCandidates() {
+		out = out[:c.maxCandidates()]
+	}
+	return out
+}
+
+// jellyfishConfigs enumerates seeded random regular graphs across
+// endpoint loads p: S = ⌈ranks/p⌉ switches of degree r = min(2p, S-1)
+// (decremented when the port total is odd), wiring seed 1. Degrees below
+// 3 are skipped unless the graph is complete — sparse random graphs risk
+// disconnection, which would abort the sweep. Sorted by (nodes, p).
+func jellyfishConfigs(ranks int, c Constraints) []topology.Config {
+	var out []topology.Config
+	seen := map[[3]int]bool{}
+	for p := 1; p <= 16; p++ {
+		s := (ranks + p - 1) / p
+		if s < 2 {
+			s = 2
+		}
+		if s > 4096 {
+			continue
+		}
+		r := 2 * p
+		if r > s-1 {
+			r = s - 1
+		}
+		if s*r%2 != 0 {
+			r--
+		}
+		if r < 1 || (r < 3 && r != s-1) {
+			continue
+		}
+		if r+p > c.maxRadix() {
+			continue
+		}
+		nodes := s * p
+		if nodes < ranks || nodes > maxNodeSlack*ranks {
+			continue
+		}
+		key := [3]int{s, r, p}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, topology.Config{
+			Kind: "jellyfish", Size: ranks, Nodes: nodes, S: s, D: r, P: p, Seed: 1,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nodes != out[j].Nodes {
+			return out[i].Nodes < out[j].Nodes
+		}
+		return out[i].P < out[j].P
+	})
+	if len(out) > c.maxCandidates() {
+		out = out[:c.maxCandidates()]
+	}
+	return out
+}
+
+// hyperxConfigs enumerates near-square two-dimensional HyperX lattices
+// across the terminal ladder, radix (s1-1)+(s2-1)+t under the cap,
+// sorted by (nodes, t).
+func hyperxConfigs(ranks int, c Constraints) []topology.Config {
+	var out []topology.Config
+	for _, t := range []int{2, 4, 8, 16, 32} {
+		sw := (ranks + t - 1) / t
+		s1 := 1
+		for s1*s1 < sw {
+			s1++
+		}
+		s2 := (sw + s1 - 1) / s1
+		if s1*s2 > 4096 {
+			continue
+		}
+		if (s1-1)+(s2-1)+t > c.maxRadix() {
+			continue
+		}
+		nodes := s1 * s2 * t
+		if nodes < ranks || nodes > maxNodeSlack*ranks {
+			continue
+		}
+		out = append(out, topology.Config{
+			Kind: "hyperx", Size: ranks, Nodes: nodes, X: s1, Y: s2, Z: 1, P: t,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Nodes != out[j].Nodes {
+			return out[i].Nodes < out[j].Nodes
 		}
 		return out[i].P < out[j].P
 	})

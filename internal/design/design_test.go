@@ -354,3 +354,73 @@ func TestCanonicalKeyStable(t *testing.T) {
 		t.Error("different constraints share a key")
 	}
 }
+
+// TestExtremeScaleFamiliesEnumerate pins the acceptance criterion of the
+// family expansion: under default constraints every new family yields at
+// least one candidate at the paper-adjacent scales, and each candidate
+// builds.
+func TestExtremeScaleFamiliesEnumerate(t *testing.T) {
+	for _, fam := range []string{"slimfly", "jellyfish", "hyperx"} {
+		for _, ranks := range []int{64, 256, 1728} {
+			cfgs, err := Candidates(ranks, []string{fam}, Constraints{})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", fam, ranks, err)
+			}
+			if len(cfgs) == 0 {
+				t.Fatalf("%s/%d: no candidates under default constraints", fam, ranks)
+			}
+			for _, cfg := range cfgs {
+				topo, err := cfg.Build()
+				if err != nil {
+					t.Fatalf("%s/%d: %s%s: %v", fam, ranks, cfg.Kind, cfg, err)
+				}
+				if topo.Nodes() < ranks {
+					t.Fatalf("%s/%d: %s%s provides %d nodes", fam, ranks, cfg.Kind, cfg, topo.Nodes())
+				}
+			}
+		}
+	}
+}
+
+// TestJellyfishSearchDeterministicAcrossWorkers is the family-specific
+// determinism regression: the seeded random wiring must give the same
+// ranked sheet at -j 1/4/16 whether topologies are rebuilt per cell
+// (cache disabled), built once per run (cold), or shared across runs
+// (warm) — i.e. the wiring depends only on the Config, never on build
+// order or sharing.
+func TestJellyfishSearchDeterministicAcrossWorkers(t *testing.T) {
+	req := smallRequest()
+	req.Families = []string{"jellyfish"}
+	req.Constraints.MaxCandidates = 3
+	warm := workcache.New(0)
+	modes := []struct {
+		name  string
+		cache func() *workcache.Cache
+	}{
+		{"disabled", func() *workcache.Cache { return nil }},
+		{"cold", func() *workcache.Cache { return workcache.New(0) }},
+		{"warm", func() *workcache.Cache { return warm }},
+	}
+	var want []byte
+	for _, mode := range modes {
+		for _, workers := range []int{1, 4, 16} {
+			sheet := mustSearch(t, req, core.Options{Parallelism: workers, Cache: mode.cache()})
+			for _, r := range sheet.Rows {
+				if r.Family != "jellyfish" {
+					t.Fatalf("unexpected family %s in jellyfish-only sheet", r.Family)
+				}
+			}
+			got, err := json.Marshal(sheet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if string(got) != string(want) {
+				t.Fatalf("jellyfish sheet bytes differ (cache %s, -j%d)", mode.name, workers)
+			}
+		}
+	}
+}

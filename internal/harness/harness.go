@@ -182,7 +182,7 @@ var experiments = map[string]runner{
 	"congestion": {
 		description: "EXTENSION: temporal congestion study (routing policies, queueing, hotspots, latency tolerance)",
 		collect: func(p Params) (any, error) {
-			return core.CongestionTable(nil, nil, 0, p.Options)
+			return core.CongestionTable(nil, nil, nil, 0, p.Options)
 		},
 		render: func(w io.Writer, rows any, p Params) error {
 			return report.Congestion(w, rows.([]core.CongestionRow), p.CSV)

@@ -19,11 +19,13 @@ type CongestionWorkload struct {
 }
 
 // CongestionRequest is the POST /v1/congestion body. Every field is
-// optional: empty workloads run core.CongestionWorkloads, empty policies
-// run all of congest.Policies, zero growth_pct uses the default
-// threshold, and a negative one disables the tolerance sweep.
+// optional: empty workloads run core.CongestionWorkloads, empty families
+// run the paper's torus/fattree/dragonfly trio, empty policies run all
+// of congest.Policies, zero growth_pct uses the default threshold, and a
+// negative one disables the tolerance sweep.
 type CongestionRequest struct {
 	Workloads []CongestionWorkload `json:"workloads,omitempty"`
+	Families  []string             `json:"families,omitempty"`
 	Policies  []string             `json:"policies,omitempty"`
 	GrowthPct float64              `json:"growth_pct,omitempty"`
 	// MaxRanks caps the grid below the server's default when positive.
@@ -44,6 +46,19 @@ func (r *CongestionRequest) canonicalize() error {
 		}
 		if wl.Ranks < 1 {
 			return fmt.Errorf("service: workload %s ranks %d out of range (need >= 1)", wl.App, wl.Ranks)
+		}
+	}
+	if len(r.Families) == 0 {
+		r.Families = []string{"torus", "fattree", "dragonfly"}
+	}
+	kinds := core.AnalysisKinds()
+	for _, fam := range r.Families {
+		ok := false
+		for _, k := range kinds {
+			ok = ok || fam == k
+		}
+		if !ok {
+			return fmt.Errorf("service: unknown topology family %q (known: %s)", fam, strings.Join(kinds, ", "))
 		}
 	}
 	if len(r.Policies) == 0 {
@@ -77,6 +92,8 @@ func (r *CongestionRequest) cacheKey() string {
 	b.WriteString("congestion?growth=")
 	fmt.Fprintf(&b, "%g", r.GrowthPct)
 	fmt.Fprintf(&b, "&maxranks=%d", r.MaxRanks)
+	b.WriteString("&families=")
+	b.WriteString(strings.Join(r.Families, ","))
 	b.WriteString("&policies=")
 	b.WriteString(strings.Join(r.Policies, ","))
 	b.WriteString("&workloads=")
@@ -95,6 +112,7 @@ func (r *CongestionRequest) cacheKey() string {
 // order.
 type CongestionResult struct {
 	Workloads []CongestionWorkload `json:"workloads"`
+	Families  []string             `json:"families"`
 	Policies  []string             `json:"policies"`
 	GrowthPct float64              `json:"growth_pct"`
 	Rows      []core.CongestionRow `json:"rows"`
@@ -137,13 +155,13 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 	b, err := s.cached(req.cacheKey(), func(sp *obs.Span) (any, error) {
 		o := opts
 		o.Span = sp
-		rows, err := core.CongestionTable(refs, req.Policies, req.GrowthPct, o)
+		rows, err := core.CongestionTable(refs, req.Families, req.Policies, req.GrowthPct, o)
 		if err != nil {
 			return nil, err
 		}
 		return &CongestionResult{
-			Workloads: req.Workloads, Policies: req.Policies,
-			GrowthPct: req.GrowthPct, Rows: rows,
+			Workloads: req.Workloads, Families: req.Families,
+			Policies: req.Policies, GrowthPct: req.GrowthPct, Rows: rows,
 		}, nil
 	})
 	if err != nil {

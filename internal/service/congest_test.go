@@ -54,6 +54,31 @@ func TestCongestionEndpoint(t *testing.T) {
 	}
 }
 
+// TestCongestionFamiliesSelect runs the grid on one of the extreme-scale
+// families added beyond the paper's trio: the rows replace (not extend)
+// the default topologies and the echo names what actually ran.
+func TestCongestionFamiliesSelect(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	body := `{"workloads":[{"app":"LULESH","ranks":64}],"families":["slimfly"],"policies":["minimal"],"growth_pct":-1}`
+	status, raw := postJSON(t, ts, "/v1/congestion", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	var res CongestionResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Families) != 1 || res.Families[0] != "slimfly" {
+		t.Errorf("families echo = %v", res.Families)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	if r := res.Rows[0]; r.Topology != "slimfly" || r.Messages == 0 || r.Makespan <= 0 {
+		t.Errorf("unexpected row %s: %+v", r.Topology, r.Stats)
+	}
+}
+
 // TestCongestionDefaultsApplied checks an empty body runs the default
 // grid with the default threshold, and the baseline rows carry sweeps.
 func TestCongestionDefaultsApplied(t *testing.T) {
@@ -141,6 +166,7 @@ func TestCongestionRequestErrors(t *testing.T) {
 		{"unknown field", `{"polices":["minimal"]}`, http.StatusBadRequest},
 		{"bad json", `{`, http.StatusBadRequest},
 		{"unknown policy", `{"policies":["psychic"]}`, http.StatusBadRequest},
+		{"unknown family", `{"families":["moebius"]}`, http.StatusBadRequest},
 		{"unknown app", `{"workloads":[{"app":"NoSuchApp","ranks":64}]}`, http.StatusNotFound},
 		{"zero ranks", `{"workloads":[{"app":"LULESH","ranks":0}]}`, http.StatusBadRequest},
 		{"negative max_ranks", `{"max_ranks":-5}`, http.StatusBadRequest},

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/url"
+	"testing"
+
+	"netloc/internal/design"
+)
+
+// FuzzAnalyzeRequest drives the service's request decode/validate layer
+// with arbitrary bytes, interpreted three ways: as a design request
+// body, as a congestion request body, and as an analyze query string.
+// The contract under test is the one every handler relies on before any
+// compute runs: malformed input surfaces as a structured error, never a
+// panic, and anything that validates also canonicalizes into a stable
+// cache key.
+func FuzzAnalyzeRequest(f *testing.F) {
+	f.Add([]byte(`{"app":"LULESH","ranks":64}`))
+	f.Add([]byte(`{"app":"BigFFT","ranks":100,"families":["slimfly","hyperx"]}`))
+	f.Add([]byte(smallCongestionBody))
+	f.Add([]byte(`{"families":["jellyfish"],"growth_pct":-3}`))
+	f.Add([]byte(`{"families":["moebius"]}`))
+	f.Add([]byte(`{"polices":["minimal"]}`)) // unknown field
+	f.Add([]byte(`app=LULESH&ranks=64&topo=slimfly&coverage=0.9`))
+	f.Add([]byte(`coverage=2&strategy=psychic`))
+	f.Add([]byte(`{`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	srv := New(Options{Workers: 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Design request: strict decode, then the validation and cache-key
+		// canonicalization the design handlers run before searching.
+		var dreq design.Request
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&dreq); err == nil {
+			if dreq.Validate() == nil {
+				if dreq.CanonicalKey() == "" {
+					t.Fatal("valid design request canonicalized to an empty key")
+				}
+			}
+		}
+
+		// Congestion request: strict decode plus canonicalize, which owns
+		// the workload/family/policy validation.
+		var creq CongestionRequest
+		dec = json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&creq); err == nil {
+			if creq.canonicalize() == nil {
+				if len(creq.Families) == 0 || len(creq.Policies) == 0 {
+					t.Fatalf("canonicalized request left defaults empty: %+v", creq)
+				}
+				if creq.cacheKey() == "" {
+					t.Fatal("valid congestion request canonicalized to an empty key")
+				}
+			}
+		}
+
+		// Analyze query: the option parsing behind /v1/analyze and the
+		// experiment endpoints.
+		if q, err := url.ParseQuery(string(data)); err == nil {
+			if _, err := srv.analysisOptions(q); err == nil {
+				if _, err := queryInt(q, "ranks", 0); err != nil {
+					_ = err // non-integer ranks: rejected later, must not panic here
+				}
+			}
+		}
+	})
+}

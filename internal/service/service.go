@@ -487,11 +487,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	switch topo {
 	case "":
 		topo = "all"
-	case "all", "torus", "fattree", "dragonfly":
+	case "all":
 	default:
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("service: unknown topo %q (all|torus|fattree|dragonfly)", topo))
-		return
+		known := false
+		for _, k := range core.AnalysisKinds() {
+			known = known || topo == k
+		}
+		if !known {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("service: unknown topo %q (all|%s)", topo, strings.Join(core.AnalysisKinds(), "|")))
+			return
+		}
 	}
 	mapping := q.Get("mapping")
 	if mapping == "" {
@@ -550,12 +556,19 @@ type TopoInfo struct {
 }
 
 // TopologiesResult is the /v1/topologies response: the three Table 2
-// configurations for a rank count, each built and measured.
+// configurations for a rank count, each built and measured, plus the
+// extreme-scale families (Slim Fly, Jellyfish, HyperX) sized for the
+// same rank count. The extra blocks are pointers so a rank count one of
+// the auxiliary sizers cannot satisfy simply omits that family instead
+// of failing the whole response.
 type TopologiesResult struct {
-	Ranks     int      `json:"ranks"`
-	Torus     TopoInfo `json:"torus"`
-	FatTree   TopoInfo `json:"fattree"`
-	Dragonfly TopoInfo `json:"dragonfly"`
+	Ranks     int       `json:"ranks"`
+	Torus     TopoInfo  `json:"torus"`
+	FatTree   TopoInfo  `json:"fattree"`
+	Dragonfly TopoInfo  `json:"dragonfly"`
+	SlimFly   *TopoInfo `json:"slimfly,omitempty"`
+	Jellyfish *TopoInfo `json:"jellyfish,omitempty"`
+	HyperX    *TopoInfo `json:"hyperx,omitempty"`
 }
 
 func topoInfo(cfg topology.Config, cache *workcache.Cache) (TopoInfo, error) {
@@ -607,6 +620,25 @@ func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
 		}
 		if out.Dragonfly, err = topoInfo(df, s.work); err != nil {
 			return nil, err
+		}
+		extra := []struct {
+			sizer func(int) (topology.Config, error)
+			dst   **TopoInfo
+		}{
+			{topology.SlimFlyConfig, &out.SlimFly},
+			{topology.JellyfishConfig, &out.Jellyfish},
+			{topology.HyperXConfig, &out.HyperX},
+		}
+		for _, e := range extra {
+			cfg, err := e.sizer(ranks)
+			if err != nil {
+				continue // no valid configuration at this size: omit the block
+			}
+			info, err := topoInfo(cfg, s.work)
+			if err != nil {
+				return nil, err
+			}
+			*e.dst = &info
 		}
 		return &out, nil
 	})

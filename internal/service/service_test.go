@@ -294,6 +294,47 @@ func TestTopologiesEndpoint(t *testing.T) {
 	if got.Dragonfly.GlobalLinks == 0 {
 		t.Errorf("dragonfly = %+v", got.Dragonfly)
 	}
+	// The extreme-scale families size for 64 ranks, so their blocks show up.
+	if got.SlimFly == nil || got.SlimFly.Label != "(5,2)" || got.SlimFly.GlobalLinks == 0 {
+		t.Errorf("slimfly = %+v", got.SlimFly)
+	}
+	if got.Jellyfish == nil || got.Jellyfish.Nodes < 64 || got.Jellyfish.GlobalLinks == 0 {
+		t.Errorf("jellyfish = %+v", got.Jellyfish)
+	}
+	if got.HyperX == nil || got.HyperX.Nodes < 64 || got.HyperX.LocalLinks == 0 {
+		t.Errorf("hyperx = %+v", got.HyperX)
+	}
+}
+
+// TestAnalyzeExtremeScaleTopo selects each family beyond the paper's
+// trio through the topo parameter and checks exactly that block lands in
+// the analysis.
+func TestAnalyzeExtremeScaleTopo(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	for _, tc := range []struct {
+		topo string
+		pick func(*core.Analysis) *core.TopoResult
+	}{
+		{"slimfly", func(a *core.Analysis) *core.TopoResult { return a.SlimFly }},
+		{"jellyfish", func(a *core.Analysis) *core.TopoResult { return a.Jellyfish }},
+		{"hyperx", func(a *core.Analysis) *core.TopoResult { return a.HyperX }},
+	} {
+		body := getOK(t, ts, "/v1/analyze?app=LULESH&ranks=64&topo="+tc.topo)
+		var got AnalyzeResult
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		res := tc.pick(got.Analysis)
+		if res == nil {
+			t.Fatalf("topo=%s: missing %s block in %+v", tc.topo, tc.topo, got.Analysis)
+		}
+		if res.AvgHops <= 0 || res.PacketHops == 0 {
+			t.Errorf("topo=%s: empty metrics %+v", tc.topo, res)
+		}
+		if got.Analysis.Torus != nil || got.Analysis.FatTree != nil || got.Analysis.Dragonfly != nil {
+			t.Errorf("topo=%s: paper topologies present in a single-family request", tc.topo)
+		}
+	}
 }
 
 func TestTraceUpload(t *testing.T) {

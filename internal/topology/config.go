@@ -8,18 +8,29 @@ import (
 // Config describes one topology instance selected for a given rank count,
 // mirroring a row of the paper's Table 2. The "mesh" kind (a torus without
 // wraparound) is an extension used by the design optimizer's candidate
-// sweep; the paper's tables only use the other three.
+// sweep, and the "slimfly", "jellyfish", and "hyperx" kinds are the
+// extreme-scale families beyond the paper's study; the paper's tables only
+// use the original three.
 type Config struct {
-	Kind  string // "torus", "mesh", "fattree", "dragonfly"
+	Kind  string // "torus", "mesh", "fattree", "dragonfly", "slimfly", "jellyfish", "hyperx"
 	Size  int    // requested rank count
 	Nodes int    // nodes provided by the configuration
 
-	// Torus/mesh parameters.
+	// Torus/mesh parameters; HyperX reuses them as its per-dimension
+	// switch counts.
 	X, Y, Z int
 	// Fat-tree parameters.
 	Radix, Stages int
-	// Dragonfly parameters.
+	// Dragonfly parameters; P doubles as the nodes-per-switch count of
+	// the slimfly/jellyfish/hyperx kinds.
 	A, H, P int
+	// Slim Fly field order (prime power).
+	Q int `json:",omitempty"`
+	// Jellyfish switch count and inter-switch degree.
+	S, D int `json:",omitempty"`
+	// Jellyfish wiring seed. Part of the structural identity: it appears
+	// in String() and therefore in every cache key derived from it.
+	Seed uint64 `json:",omitempty"`
 }
 
 // Build instantiates the configured topology.
@@ -33,12 +44,21 @@ func (c Config) Build() (Topology, error) {
 		return NewFatTree(c.Radix, c.Stages)
 	case "dragonfly":
 		return NewDragonfly(c.A, c.H, c.P)
+	case "slimfly":
+		return NewSlimFly(c.Q, c.P)
+	case "jellyfish":
+		return NewJellyfish(c.S, c.D, c.P, c.Seed)
+	case "hyperx":
+		return NewHyperX(c.X, c.Y, c.Z, c.P)
 	default:
 		return nil, fmt.Errorf("topology: unknown kind %q", c.Kind)
 	}
 }
 
-// String renders the configuration like the paper's Table 2 cells.
+// String renders the configuration like the paper's Table 2 cells. Every
+// structural parameter must appear here: the workcache keys built
+// topologies by Kind + String(), so two configs that render alike must
+// build identical graphs.
 func (c Config) String() string {
 	switch c.Kind {
 	case "torus", "mesh":
@@ -47,8 +67,19 @@ func (c Config) String() string {
 		return fmt.Sprintf("(%d,%d)", c.Radix, c.Stages)
 	case "dragonfly":
 		return fmt.Sprintf("(%d,%d,%d)", c.A, c.H, c.P)
+	case "slimfly":
+		return fmt.Sprintf("(%d,%d)", c.Q, c.P)
+	case "jellyfish":
+		return fmt.Sprintf("(%d,%d,%d;%d)", c.S, c.D, c.P, c.Seed)
+	case "hyperx":
+		return fmt.Sprintf("(%d,%d,%d;%d)", c.X, c.Y, c.Z, c.P)
 	}
 	return "?"
+}
+
+// Kinds lists every buildable topology kind, paper families first.
+func Kinds() []string {
+	return []string{"torus", "mesh", "fattree", "dragonfly", "slimfly", "jellyfish", "hyperx"}
 }
 
 // FatTreeRadix is the switch radix the study uses for all fat-tree
@@ -190,6 +221,93 @@ func Configs(ranks int) (torus, fattree, dragonfly Config, err error) {
 	}
 	dragonfly, err = DragonflyConfig(ranks)
 	return
+}
+
+// slimFlyQLadder lists the MMS field orders the sizing sweep considers,
+// smallest first (odd prime powers; 2q² routers each).
+var slimFlyQLadder = []int{5, 7, 11, 13, 17, 19, 23, 25}
+
+// SlimFlyConfig returns the smallest ladder Slim Fly covering the ranks:
+// the first field order q whose 2q² routers reach the rank count with at
+// most the balanced endpoint load p ≤ ⌈k/2⌉.
+func SlimFlyConfig(ranks int) (Config, error) {
+	if ranks <= 0 {
+		return Config{}, fmt.Errorf("topology: non-positive rank count %d", ranks)
+	}
+	for _, q := range slimFlyQLadder {
+		routers := 2 * q * q
+		delta := 1
+		if q%4 == 3 {
+			delta = -1
+		}
+		k := (3*q - delta) / 2
+		p := (ranks + routers - 1) / routers
+		if p > (k+1)/2 {
+			continue
+		}
+		return Config{Kind: "slimfly", Size: ranks, Nodes: routers * p, Q: q, P: p}, nil
+	}
+	return Config{}, fmt.Errorf("topology: %d ranks exceed the largest slim fly configuration", ranks)
+}
+
+// JellyfishConfig returns a near-balanced Jellyfish covering the ranks:
+// p ≈ ∛ranks nodes per switch, degree 2p (clamped to the switch count and
+// an even port total), wiring seed 1.
+func JellyfishConfig(ranks int) (Config, error) {
+	if ranks <= 0 {
+		return Config{}, fmt.Errorf("topology: non-positive rank count %d", ranks)
+	}
+	p := 1
+	for p*p*p < ranks {
+		p++
+	}
+	s := (ranks + p - 1) / p
+	if s < 2 {
+		s = 2
+	}
+	if s > maxJellyfishSwitches {
+		return Config{}, fmt.Errorf("topology: %d ranks exceed the largest jellyfish configuration", ranks)
+	}
+	r := 2 * p
+	if r > s-1 {
+		r = s - 1
+	}
+	if s*r%2 != 0 {
+		r--
+	}
+	if r < 1 {
+		return Config{}, fmt.Errorf("topology: no valid jellyfish degree for %d ranks", ranks)
+	}
+	return Config{Kind: "jellyfish", Size: ranks, Nodes: s * p, S: s, D: r, P: p, Seed: 1}, nil
+}
+
+// hyperXTerminalLadder lists the per-switch endpoint counts the sizing
+// sweep considers, smallest first.
+var hyperXTerminalLadder = []int{4, 8, 16, 32}
+
+// HyperXConfig returns a near-square two-dimensional HyperX covering the
+// ranks: the first terminal count whose lattice fits the radix-48 switch
+// budget shared with the fat-tree study.
+func HyperXConfig(ranks int) (Config, error) {
+	if ranks <= 0 {
+		return Config{}, fmt.Errorf("topology: non-positive rank count %d", ranks)
+	}
+	for _, t := range hyperXTerminalLadder {
+		sw := (ranks + t - 1) / t
+		s1 := 1
+		for s1*s1 < sw {
+			s1++
+		}
+		s2 := (sw + s1 - 1) / s1
+		if s1*s2 > maxHyperXSwitches {
+			continue
+		}
+		if (s1-1)+(s2-1)+t > FatTreeRadix {
+			continue
+		}
+		return Config{Kind: "hyperx", Size: ranks, Nodes: s1 * s2 * t, X: s1, Y: s2, Z: 1, P: t}, nil
+	}
+	return Config{}, fmt.Errorf("topology: %d ranks exceed the largest hyperx configuration", ranks)
 }
 
 // PaperSizes returns the rank counts of Table 2 in ascending order.

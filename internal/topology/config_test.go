@@ -176,3 +176,85 @@ func TestDragonflyLadderMonotone(t *testing.T) {
 		prev = nodes
 	}
 }
+
+// The extreme-scale family sizing must cover every paper rank count with
+// a buildable config whose node count reaches the ranks.
+func TestExtremeScaleConfigsCoverPaperSizes(t *testing.T) {
+	type sizer struct {
+		name string
+		fn   func(int) (Config, error)
+	}
+	sizers := []sizer{
+		{"slimfly", SlimFlyConfig},
+		{"jellyfish", JellyfishConfig},
+		{"hyperx", HyperXConfig},
+	}
+	for _, s := range sizers {
+		for _, ranks := range PaperSizes() {
+			c, err := s.fn(ranks)
+			if err != nil {
+				t.Fatalf("%s(%d): %v", s.name, ranks, err)
+			}
+			if c.Nodes < ranks {
+				t.Fatalf("%s(%d): %d nodes < ranks", s.name, ranks, c.Nodes)
+			}
+			topo, err := c.Build()
+			if err != nil {
+				t.Fatalf("%s(%d): build: %v", s.name, ranks, err)
+			}
+			if topo.Nodes() != c.Nodes {
+				t.Fatalf("%s(%d): built %d nodes, config says %d", s.name, ranks, topo.Nodes(), c.Nodes)
+			}
+			if topo.Kind() != c.Kind {
+				t.Fatalf("%s(%d): kind %q vs %q", s.name, ranks, topo.Kind(), c.Kind)
+			}
+		}
+		if _, err := s.fn(0); err == nil {
+			t.Errorf("%s(0): expected error", s.name)
+		}
+		if _, err := s.fn(-5); err == nil {
+			t.Errorf("%s(-5): expected error", s.name)
+		}
+	}
+}
+
+// String must render every structural parameter of the new kinds — the
+// workcache keys built topologies by it.
+func TestExtremeScaleConfigStrings(t *testing.T) {
+	sf, err := SlimFlyConfig(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.String() != "(5,2)" {
+		t.Errorf("slimfly string = %s", sf)
+	}
+	jf, err := JellyfishConfig(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jf.String() != "(16,8,4;1)" {
+		t.Errorf("jellyfish string = %s", jf)
+	}
+	jf2 := jf
+	jf2.Seed = 99
+	if jf.String() == jf2.String() {
+		t.Error("jellyfish string must include the seed")
+	}
+	hx, err := HyperXConfig(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hx.String() != "(4,4,1;4)" {
+		t.Errorf("hyperx string = %s", hx)
+	}
+}
+
+// Kinds lists every kind Build accepts, and each non-paper kind has a
+// working zero-value rejection (no panics on an empty Config).
+func TestKindsAllBuildable(t *testing.T) {
+	for _, k := range Kinds() {
+		if _, err := (Config{Kind: k}).Build(); err == nil {
+			t.Errorf("kind %q: zero-value config should fail, not build", k)
+		}
+	}
+}

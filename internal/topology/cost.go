@@ -77,3 +77,13 @@ func (f *FatTree) Cost() Cost { return graphCost(f) }
 
 // Cost implements Coster over the per-group routers and global links.
 func (d *Dragonfly) Cost() Cost { return graphCost(d) }
+
+// Cost implements Coster over the MMS router graph.
+func (s *SlimFly) Cost() Cost { return graphCost(s) }
+
+// Cost implements Coster over the random regular switch graph.
+func (j *Jellyfish) Cost() Cost { return graphCost(j) }
+
+// Cost implements Coster over the lattice switches and per-dimension
+// all-to-all links.
+func (h *HyperX) Cost() Cost { return graphCost(h) }

@@ -1,0 +1,234 @@
+package topology
+
+import "fmt"
+
+// gf is arithmetic in the finite field GF(q) for a prime power q = p^m,
+// backing the Slim Fly MMS construction. Elements are encoded as integers
+// 0..q-1 whose base-p digits are the coefficients of a polynomial over
+// GF(p); for m > 1 multiplication reduces modulo a canonical irreducible
+// polynomial (the lexicographically smallest monic one, found by trial
+// division), so the same q always yields the same field tables and the
+// built graphs stay byte-identical across runs.
+type gf struct {
+	q, p, m int
+	mulT    []uint16 // q×q multiplication table
+	addT    []uint16 // q×q addition table
+	prim    int      // canonical (smallest) primitive element
+}
+
+// maxGFOrder bounds the field size: the add/mul tables are O(q²), and the
+// Slim Fly ladder tops out far below this.
+const maxGFOrder = 512
+
+// factorPrimePower decomposes q into (p, m) with q = p^m, or ok=false.
+func factorPrimePower(q int) (p, m int, ok bool) {
+	if q < 2 {
+		return 0, 0, false
+	}
+	for p = 2; p*p <= q; p++ {
+		if q%p == 0 {
+			for m = 0; q%p == 0; m++ {
+				q /= p
+			}
+			return p, m, q == 1
+		}
+	}
+	return q, 1, true
+}
+
+// newGF constructs GF(q). q must be a prime power within maxGFOrder.
+func newGF(q int) (*gf, error) {
+	if q > maxGFOrder {
+		return nil, fmt.Errorf("topology: field order %d exceeds the supported maximum %d", q, maxGFOrder)
+	}
+	p, m, ok := factorPrimePower(q)
+	if !ok {
+		return nil, fmt.Errorf("topology: %d is not a prime power", q)
+	}
+	f := &gf{q: q, p: p, m: m}
+	f.addT = make([]uint16, q*q)
+	f.mulT = make([]uint16, q*q)
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			f.addT[a*q+b] = uint16(f.addDigits(a, b))
+		}
+	}
+	irr := f.findIrreducible()
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			f.mulT[a*q+b] = uint16(f.mulPoly(a, b, irr))
+		}
+	}
+	if err := f.findPrimitive(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *gf) add(a, b int) int { return int(f.addT[a*f.q+b]) }
+func (f *gf) mul(a, b int) int { return int(f.mulT[a*f.q+b]) }
+
+// neg returns the additive inverse of a.
+func (f *gf) neg(a int) int {
+	digits := a
+	out, pw := 0, 1
+	for i := 0; i < f.m; i++ {
+		d := digits % f.p
+		if d != 0 {
+			out += (f.p - d) * pw
+		}
+		digits /= f.p
+		pw *= f.p
+	}
+	return out
+}
+
+// sub returns a - b.
+func (f *gf) sub(a, b int) int { return f.add(a, f.neg(b)) }
+
+// addDigits adds two encoded elements digit-wise mod p.
+func (f *gf) addDigits(a, b int) int {
+	out, pw := 0, 1
+	for i := 0; i < f.m; i++ {
+		out += ((a + b) % f.p) * pw
+		a /= f.p
+		b /= f.p
+		pw *= f.p
+	}
+	return out
+}
+
+// polyCoeffs expands an encoded element into its base-p digit slice.
+func (f *gf) polyCoeffs(a int, n int) []int {
+	out := make([]int, n)
+	for i := 0; i < n && a > 0; i++ {
+		out[i] = a % f.p
+		a /= f.p
+	}
+	return out
+}
+
+// mulPoly multiplies two elements as polynomials over GF(p) and reduces
+// modulo the monic irreducible irr (given as its low-degree coefficients;
+// the leading coefficient of degree m is implicitly 1).
+func (f *gf) mulPoly(a, b int, irr []int) int {
+	if f.m == 1 {
+		return (a * b) % f.p
+	}
+	ac := f.polyCoeffs(a, f.m)
+	bc := f.polyCoeffs(b, f.m)
+	prod := make([]int, 2*f.m-1)
+	for i, av := range ac {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range bc {
+			prod[i+j] = (prod[i+j] + av*bv) % f.p
+		}
+	}
+	// Reduce: x^m ≡ -irr (x^m's replacement has the negated low coeffs).
+	for d := len(prod) - 1; d >= f.m; d-- {
+		c := prod[d]
+		if c == 0 {
+			continue
+		}
+		prod[d] = 0
+		for i, iv := range irr {
+			if iv == 0 {
+				continue
+			}
+			prod[d-f.m+i] = (prod[d-f.m+i] + c*(f.p-iv)) % f.p
+		}
+	}
+	out, pw := 0, 1
+	for i := 0; i < f.m; i++ {
+		out += prod[i] * pw
+		pw *= f.p
+	}
+	return out
+}
+
+// findIrreducible returns the low coefficients of the lexicographically
+// smallest monic irreducible polynomial of degree m over GF(p), by trial
+// division against every monic polynomial of degree 1..m/2. For m == 1
+// the reduction is trivial and nil is returned.
+func (f *gf) findIrreducible() []int {
+	if f.m == 1 {
+		return nil
+	}
+	total := 1
+	for i := 0; i < f.m; i++ {
+		total *= f.p
+	}
+	for enc := 0; enc < total; enc++ {
+		cand := f.polyCoeffs(enc, f.m+1)
+		cand[f.m] = 1
+		if f.irreducible(cand) {
+			return cand[:f.m]
+		}
+	}
+	// Unreachable: irreducible polynomials exist for every (p, m).
+	panic("topology: no irreducible polynomial found")
+}
+
+// irreducible reports whether the monic polynomial poly (degree =
+// len(poly)-1) has no monic divisor of degree 1..deg(poly)/2.
+func (f *gf) irreducible(poly []int) bool {
+	deg := len(poly) - 1
+	for d := 1; d <= deg/2; d++ {
+		total := 1
+		for i := 0; i < d; i++ {
+			total *= f.p
+		}
+		for enc := 0; enc < total; enc++ {
+			div := f.polyCoeffs(enc, d+1)
+			div[d] = 1
+			if f.polyModZero(poly, div) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// polyModZero reports whether div divides poly exactly (both monic, over
+// GF(p)).
+func (f *gf) polyModZero(poly, div []int) bool {
+	rem := append([]int(nil), poly...)
+	dd := len(div) - 1
+	for d := len(rem) - 1; d >= dd; d-- {
+		c := rem[d]
+		if c == 0 {
+			continue
+		}
+		for i, dv := range div {
+			rem[d-dd+i] = (rem[d-dd+i] + c*(f.p-dv%f.p)) % f.p
+		}
+	}
+	for _, c := range rem {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// findPrimitive locates the smallest element generating the multiplicative
+// group, by walking its powers until 1 recurs.
+func (f *gf) findPrimitive() error {
+	for g := 1; g < f.q; g++ {
+		x, order := g, 1
+		for x != 1 {
+			x = f.mul(x, g)
+			order++
+			if order > f.q {
+				return fmt.Errorf("topology: GF(%d) element %d has unbounded order (table bug)", f.q, g)
+			}
+		}
+		if order == f.q-1 {
+			f.prim = g
+			return nil
+		}
+	}
+	return fmt.Errorf("topology: no primitive element in GF(%d)", f.q)
+}

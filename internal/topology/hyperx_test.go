@@ -1,0 +1,74 @@
+package topology
+
+import "testing"
+
+// Hop counts are exactly 2 + the number of differing lattice coordinates,
+// so the diameter of an s1×s2×s3 HyperX (all dims > 1) is 5.
+func TestHyperXHopStructure(t *testing.T) {
+	h, err := NewHyperX(3, 4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := h.Nodes(), 3*4*2*2; got != want {
+		t.Fatalf("%d nodes, want %d", got, want)
+	}
+	if got := Diameter(h); got != 5 {
+		t.Fatalf("diameter %d, want 5", got)
+	}
+	// A degenerate dimension drops out of the radix and the diameter.
+	flat, err := NewHyperX(4, 5, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := flat.NetworkRadix(), 3+4; got != want {
+		t.Fatalf("network radix %d, want %d", got, want)
+	}
+	if got := Diameter(flat); got != 4 {
+		t.Fatalf("2D diameter %d, want 4", got)
+	}
+}
+
+// Per-dimension all-to-all link counts: each line of length s contributes
+// s(s-1)/2 links, all ClassLocal.
+func TestHyperXLinkInventory(t *testing.T) {
+	s1, s2, s3, tm := 3, 4, 2, 2
+	h, err := NewHyperX(s1, s2, s3, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLocal := s2*s3*s1*(s1-1)/2 + s1*s3*s2*(s2-1)/2 + s1*s2*s3*(s3-1)/2
+	var terminal, local, global int
+	for _, c := range h.LinkClasses() {
+		switch c {
+		case ClassTerminal:
+			terminal++
+		case ClassLocal:
+			local++
+		case ClassGlobal:
+			global++
+		}
+	}
+	if terminal != h.Nodes() {
+		t.Fatalf("%d terminal links, want %d", terminal, h.Nodes())
+	}
+	if local != wantLocal {
+		t.Fatalf("%d local links, want %d", local, wantLocal)
+	}
+	if global != 0 {
+		t.Fatalf("%d global links, want 0", global)
+	}
+}
+
+func TestHyperXErrors(t *testing.T) {
+	cases := []struct{ s1, s2, s3, t int }{
+		{0, 2, 2, 1},   // zero dimension
+		{2, 2, 2, 0},   // no terminals
+		{-1, 1, 1, 1},  // negative
+		{70, 70, 1, 1}, // beyond the switch cap
+	}
+	for _, c := range cases {
+		if _, err := NewHyperX(c.s1, c.s2, c.s3, c.t); err == nil {
+			t.Errorf("NewHyperX(%d,%d,%d,%d): expected error", c.s1, c.s2, c.s3, c.t)
+		}
+	}
+}

@@ -133,6 +133,160 @@ func TestFatTreeHopParityProperty(t *testing.T) {
 	}
 }
 
+// familyCases instantiates one representative of every topology family,
+// paired with its declared switch radix (the maximum ports any vertex may
+// use). Future families added here are covered by the invariant suite
+// below by construction.
+func familyCases(t *testing.T) []struct {
+	topo  Topology
+	radix int
+} {
+	t.Helper()
+	tor, err := NewTorus(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := NewMesh(3, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := NewFatTree(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := NewDragonfly(4, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := NewSlimFly(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := NewJellyfish(12, 4, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hx, err := NewHyperX(3, 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		topo  Topology
+		radix int
+	}{
+		{tor, 6},                    // ≤ 6 neighbor links, integrated router
+		{mesh, 6},                   //
+		{ft, 8},                     // the constructed switch radix
+		{df, (4 - 1) + 2 + 2},       // (a-1) local + h global + p terminals
+		{sf, sf.NetworkRadix() + 2}, // k inter-router + p terminals
+		{jf, 4 + 2},                 // r inter-switch + p terminals
+		{hx, hx.NetworkRadix() + 2}, // per-dim all-to-all + t terminals
+	}
+}
+
+// Invariant suite over every family: Route length == HopCount == BFS
+// distance with Route a contiguous walk, hop counts symmetric and obeying
+// the triangle inequality, vertex degrees within the declared radix, and
+// LinkClasses() partitioning exactly Links().
+func TestAllFamiliesRoutingInvariants(t *testing.T) {
+	for _, tc := range familyCases(t) {
+		topo := tc.topo
+		t.Run(topo.Name(), func(t *testing.T) {
+			g, err := GraphOf(topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := topo.Nodes()
+
+			// Link classes partition the link list.
+			classes := topo.LinkClasses()
+			if len(classes) != len(topo.Links()) {
+				t.Fatalf("%d classes for %d links", len(classes), len(topo.Links()))
+			}
+			counts := map[LinkClass]int{}
+			for _, c := range classes {
+				counts[c]++
+			}
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			if total != len(topo.Links()) {
+				t.Fatalf("class counts sum to %d, want %d", total, len(topo.Links()))
+			}
+
+			// Degrees within the declared radix.
+			for v := 0; v < topo.NumVertices(); v++ {
+				deg, err := g.Degree(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if deg > tc.radix {
+					t.Fatalf("vertex %d degree %d exceeds declared radix %d", v, deg, tc.radix)
+				}
+			}
+
+			// All-pairs: Route/HopCount/BFS parity and walk validity.
+			hop := make([][]int, n)
+			links := topo.Links()
+			var buf []int
+			for s := 0; s < n; s++ {
+				dist, err := g.BFSFrom(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hop[s] = make([]int, n)
+				for d := 0; d < n; d++ {
+					h := topo.HopCount(s, d)
+					hop[s][d] = h
+					if h != dist[d] {
+						t.Fatalf("HopCount(%d,%d)=%d, BFS=%d", s, d, h, dist[d])
+					}
+					buf, err = topo.Route(s, d, buf)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(buf) != h {
+						t.Fatalf("Route(%d,%d) length %d, HopCount %d", s, d, len(buf), h)
+					}
+					cur := s
+					for _, li := range buf {
+						l := links[li]
+						switch cur {
+						case l.A:
+							cur = l.B
+						case l.B:
+							cur = l.A
+						default:
+							t.Fatalf("Route(%d,%d): link %d (%d-%d) does not touch %d", s, d, li, l.A, l.B, cur)
+						}
+					}
+					if cur != d {
+						t.Fatalf("Route(%d,%d) ends at %d", s, d, cur)
+					}
+				}
+			}
+
+			// Symmetry and the triangle inequality (strided third point to
+			// bound the cubic loop).
+			step := 1 + n/24
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					if hop[a][b] != hop[b][a] {
+						t.Fatalf("HopCount(%d,%d)=%d but HopCount(%d,%d)=%d", a, b, hop[a][b], b, a, hop[b][a])
+					}
+					for c := 0; c < n; c += step {
+						if hop[a][b] > hop[a][c]+hop[c][b] {
+							t.Fatalf("triangle violated: d(%d,%d)=%d > d(%d,%d)+d(%d,%d)=%d",
+								a, b, hop[a][b], a, c, c, b, hop[a][c]+hop[c][b])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // Property: every topology's Diameter bounds all pairwise hop counts and
 // is attained by some pair.
 func TestDiameterProperty(t *testing.T) {
@@ -141,6 +295,9 @@ func TestDiameterProperty(t *testing.T) {
 		func() (Topology, error) { return NewMesh(3, 3, 2) },
 		func() (Topology, error) { return NewFatTree(8, 2) },
 		func() (Topology, error) { return NewDragonfly(4, 2, 2) },
+		func() (Topology, error) { return NewSlimFly(5, 2) },
+		func() (Topology, error) { return NewJellyfish(12, 4, 2, 7) },
+		func() (Topology, error) { return NewHyperX(3, 3, 2, 2) },
 	}
 	for _, build := range builds {
 		topo, err := build()

@@ -29,8 +29,16 @@ go test -race ./...
 # with explicit worker counts > 1 so the race detector always sees the
 # concurrent paths.
 echo "=== go test -race (parallel engine, forced workers) ==="
-go test -race -run 'Parallel|Determin|Budget|ForEach|Singleflight|Concurrent|Span|Registry|Job' \
+# Jellyfish|SlimFly|HyperX pull in the new-family determinism and
+# regularity regressions alongside the engine suites.
+go test -race -run 'Parallel|Determin|Budget|ForEach|Singleflight|Concurrent|Span|Registry|Job|Jellyfish|SlimFly|HyperX' \
     ./internal/parallel ./internal/comm ./internal/metrics ./internal/core ./internal/service ./internal/obs ./internal/design ./internal/workcache ./internal/congest ./internal/topology .
+
+# The committed fuzz seed corpora are regression inputs: replay them
+# (seeds only — no fuzzing engine) so a corpus entry that starts
+# crashing fails CI before any long fuzz run would find it.
+echo "=== go test (fuzz seed corpora) ==="
+go test -run 'Fuzz' ./internal/topology ./internal/service
 
 echo "=== examples ==="
 sh scripts/run_examples.sh
