@@ -24,6 +24,7 @@
 //	-j int             worker goroutines (0 = GOMAXPROCS, 1 = sequential)
 //	-csv               emit CSV instead of aligned text
 //	-json              emit structured JSON (the service's encoding)
+//	-trace-out file    write the run's stage spans as Chrome trace-event JSON
 //	-list              list default workloads and known policies
 package main
 
@@ -37,6 +38,7 @@ import (
 
 	"netloc/internal/congest"
 	"netloc/internal/core"
+	"netloc/internal/obs"
 	"netloc/internal/report"
 )
 
@@ -50,6 +52,7 @@ func main() {
 		workers   = flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		asJSON    = flag.Bool("json", false, "emit structured JSON")
+		traceOut  = flag.String("trace-out", "", "write the run's stage spans as Chrome trace-event JSON to this file")
 		list      = flag.Bool("list", false, "list default workloads and known policies")
 	)
 	flag.Parse()
@@ -81,7 +84,19 @@ func main() {
 		pols = strings.Split(*policies, ",")
 	}
 	opts := core.Options{Parallelism: *workers, MaxRanks: *maxRanks}
-	if err := run(os.Stdout, refs, fams, pols, *growth, opts, *csv, *asJSON); err != nil {
+	var root *obs.Span
+	if *traceOut != "" {
+		root = obs.NewTracer(1).StartRun("congestion")
+		opts.Span = root
+	}
+	err = run(os.Stdout, refs, fams, pols, *growth, opts, *csv, *asJSON)
+	if root != nil {
+		root.End()
+		if werr := obs.WriteChromeTraceFile(*traceOut, root.Data()); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "congest:", err)
 		os.Exit(1)
 	}

@@ -25,6 +25,8 @@
 //	-csv              emit CSV instead of aligned text
 //	-json             emit structured JSON (the same encoding the service serves)
 //	-runtime          include the stage-span runtime block in -json output
+//	-trace-out file   write the run's stage spans as Chrome trace-event JSON
+//	                  (open in Perfetto or chrome://tracing)
 //	-v                print a per-stage timing summary to stderr after the run
 //	-list             list experiments
 package main
@@ -55,6 +57,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV")
 		jsonOut  = flag.Bool("json", false, "emit structured JSON")
 		runtime  = flag.Bool("runtime", false, "include the stage-span runtime block in -json output")
+		traceOut = flag.String("trace-out", "", "write the run's stage spans as Chrome trace-event JSON to this file")
 		verbose  = flag.Bool("v", false, "print a per-stage timing summary to stderr after the run")
 		list     = flag.Bool("list", false, "list experiments")
 		outdir   = flag.String("all", "", "run every experiment, writing one file per experiment into this directory")
@@ -87,7 +90,7 @@ func main() {
 		Options:    core.Options{Coverage: *coverage, Strategy: strat, MaxRanks: *maxRanks, Parallelism: *par},
 	}
 	var root *obs.Span
-	if *verbose {
+	if *verbose || *traceOut != "" {
 		label := params.Experiment
 		if *traceIn != "" {
 			label = "trace"
@@ -100,7 +103,14 @@ func main() {
 	err = runTop(*traceIn, *outdir, params)
 	if root != nil {
 		root.End()
-		obs.WriteSummary(os.Stderr, root.Data())
+		if *verbose {
+			obs.WriteSummary(os.Stderr, root.Data())
+		}
+		if *traceOut != "" {
+			if werr := obs.WriteChromeTraceFile(*traceOut, root.Data()); werr != nil && err == nil {
+				err = werr
+			}
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locality:", err)

@@ -27,6 +27,7 @@
 //	-j int             worker goroutines (0 = GOMAXPROCS, 1 = sequential)
 //	-csv               emit CSV instead of aligned text
 //	-json              emit structured JSON (the service's encoding)
+//	-trace-out file    write the search's stage spans as Chrome trace-event JSON
 //	-apps              list accepted workload names
 package main
 
@@ -39,6 +40,7 @@ import (
 
 	"netloc/internal/core"
 	"netloc/internal/design"
+	"netloc/internal/obs"
 	"netloc/internal/report"
 	"netloc/internal/trace"
 )
@@ -60,6 +62,7 @@ func main() {
 		workers    = flag.Int("j", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		asJSON     = flag.Bool("json", false, "emit structured JSON")
+		traceOut   = flag.String("trace-out", "", "write the search's stage spans as Chrome trace-event JSON to this file")
 		listApps   = flag.Bool("apps", false, "list accepted workload names")
 	)
 	flag.Parse()
@@ -84,7 +87,20 @@ func main() {
 	if *mappings != "" {
 		req.Mappings = strings.Split(*mappings, ",")
 	}
-	if err := run(os.Stdout, req, *traceIn, core.Options{Parallelism: *workers}, *csv, *asJSON); err != nil {
+	opts := core.Options{Parallelism: *workers}
+	var root *obs.Span
+	if *traceOut != "" {
+		root = obs.NewTracer(1).StartRun("design")
+		opts.Span = root
+	}
+	err := run(os.Stdout, req, *traceIn, opts, *csv, *asJSON)
+	if root != nil {
+		root.End()
+		if werr := obs.WriteChromeTraceFile(*traceOut, root.Data()); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "netdesign:", err)
 		os.Exit(1)
 	}

@@ -11,17 +11,27 @@
 //
 // Flags:
 //
-//	-addr string     listen address (default ":8537")
-//	-cache int       result-cache entries (default 256)
-//	-workers int     total compute-goroutine budget, shared between
-//	                 concurrent requests and each request's internal
-//	                 parallelism (default GOMAXPROCS)
-//	-coverage float  traffic-coverage threshold (default 0.9)
-//	-maxranks int    cap the configuration grid at this rank count (0 = no cap)
-//	-debug           also serve net/http/pprof profiles under /debug/pprof/
+//	-addr string            listen address (default ":8537")
+//	-cache int              result-cache entries (default 256)
+//	-workers int            total compute-goroutine budget, shared between
+//	                        concurrent requests and each request's internal
+//	                        parallelism (default GOMAXPROCS)
+//	-coverage float         traffic-coverage threshold (default 0.9)
+//	-maxranks int           cap the configuration grid at this rank count (0 = no cap)
+//	-runtime-sample dur     runtime telemetry sampling interval for the
+//	                        netloc_runtime_* series (default 10s, 0 = off)
+//	-slowrun dur            slow-run threshold: computed runs slower than this
+//	                        bump netloc_slow_runs_total{endpoint} and log their
+//	                        per-stage summary (default 30s, 0 = off)
+//	-debug                  also serve net/http/pprof profiles under /debug/pprof/
 //
 // Requests are logged to stderr as structured slog lines carrying the
-// request ID the service stamps into the X-Request-ID response header.
+// request ID the service stamps into the X-Request-ID response header;
+// each completed computation additionally logs one canonical
+// "run_complete" event (endpoint, dims, cache state, queue wait,
+// duration). Per-run stage traces are served at /v1/debug/runs, and
+// /v1/debug/runs/{id}/trace exports one run as Chrome trace-event JSON
+// for Perfetto / chrome://tracing.
 package main
 
 import (
@@ -54,6 +64,7 @@ func run(ctx context.Context, addr string, opts service.Options, debug bool, rea
 		return err
 	}
 	svc := service.New(opts)
+	defer svc.Close()
 	var handler http.Handler = svc.Handler()
 	if debug {
 		mux := http.NewServeMux()
@@ -83,20 +94,24 @@ func run(ctx context.Context, addr string, opts service.Options, debug bool, rea
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8537", "listen address")
-		cache    = flag.Int("cache", 0, "result-cache entries (default 256)")
-		workers  = flag.Int("workers", 0, "total compute-goroutine budget across and within requests (default GOMAXPROCS)")
-		coverage = flag.Float64("coverage", 0, "traffic-coverage threshold (default 0.9)")
-		maxRanks = flag.Int("maxranks", 0, "cap the configuration grid at this rank count (0 = no cap)")
-		debug    = flag.Bool("debug", false, "also serve net/http/pprof profiles under /debug/pprof/")
+		addr          = flag.String("addr", ":8537", "listen address")
+		cache         = flag.Int("cache", 0, "result-cache entries (default 256)")
+		workers       = flag.Int("workers", 0, "total compute-goroutine budget across and within requests (default GOMAXPROCS)")
+		coverage      = flag.Float64("coverage", 0, "traffic-coverage threshold (default 0.9)")
+		maxRanks      = flag.Int("maxranks", 0, "cap the configuration grid at this rank count (0 = no cap)")
+		runtimeSample = flag.Duration("runtime-sample", 10*time.Second, "runtime telemetry sampling interval (0 = off)")
+		slowRun       = flag.Duration("slowrun", 30*time.Second, "slow-run threshold for netloc_slow_runs_total and slow_run logs (0 = off)")
+		debug         = flag.Bool("debug", false, "also serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
 
 	opts := service.Options{
-		CacheEntries: *cache,
-		Workers:      *workers,
-		Analysis:     core.Options{Coverage: *coverage, MaxRanks: *maxRanks},
-		Log:          slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		CacheEntries:          *cache,
+		Workers:               *workers,
+		Analysis:              core.Options{Coverage: *coverage, MaxRanks: *maxRanks},
+		Log:                   slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		RuntimeSampleInterval: *runtimeSample,
+		SlowRunThreshold:      *slowRun,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -206,6 +206,9 @@ func AnalyzeTrace(t *trace.Trace, opts Options) (*Analysis, error) {
 func accumulate(t *trace.Trace, opts Options) (*comm.Accumulated, error) {
 	sp := opts.Span.Start("accumulate")
 	defer sp.End()
+	// The workload label rides along as span metadata so exported traces
+	// (obs.WriteChromeTrace) name the cell each stage worked on.
+	sp.SetLabel(fmt.Sprintf("%s/%d", t.Meta.App, t.Meta.Ranks))
 	sp.Add("events", int64(len(t.Events)))
 	acc, err := comm.AccumulateParallel(t,
 		comm.AccumulateOptions{PacketSize: opts.PacketSize, Strategy: opts.Strategy}, opts.runner())
@@ -239,6 +242,7 @@ func AnalyzeAccumulated(acc *comm.Accumulated, opts Options) (*Analysis, error) 
 	if acc.P2P.TotalBytes() > 0 {
 		a.HasP2P = true
 		sp := opts.Span.Start("mpi_metrics")
+		sp.SetLabel(fmt.Sprintf("%s/%d", acc.Meta.App, acc.Meta.Ranks))
 		a.Peers, _ = metrics.Peers(acc.P2P)
 		sp.Add("peers", int64(a.Peers))
 		eng := opts.engine()

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// RunEvent is the canonical record of one completed request/run: who
+// asked (request ID, endpoint), what it was about (app, topology,
+// ranks), how it was served (cache hit/miss/dedup or an uncached
+// compute), and where the time went (worker-pool queue wait, total
+// duration). The service emits exactly one of these per completed run
+// from the same chokepoint that folds span counts into the pipeline
+// counters, so logs, counters, and the span ring always agree.
+type RunEvent struct {
+	// RunID is the span ring's monotonic run ID (0 when the run was
+	// served without a recorded span, e.g. a cache hit).
+	RunID int64
+	// RequestID is the X-Request-ID of the triggering request (empty for
+	// background work such as async design jobs).
+	RequestID string
+	// Endpoint is the serving endpoint's instrumentation key.
+	Endpoint string
+	// App, Topology, Ranks are the analysis dimensions, when the request
+	// had them (zero values are omitted from the log line).
+	App      string
+	Topology string
+	Ranks    int
+	// Cache is how the result was served: "hit", "miss", "dedup"
+	// (joined an identical in-flight computation), or "none" (uncached
+	// work, e.g. trace uploads).
+	Cache string
+	// QueueWaitMS is how long the run waited for a worker token before
+	// computing (0 for cache hits, which never queue).
+	QueueWaitMS float64
+	// DurationMS is the run's total wall time as the caller saw it,
+	// queue wait included.
+	DurationMS float64
+	// Err is the failure message for runs that ended in an error.
+	Err string
+}
+
+// LogRun emits ev as one structured "run_complete" slog line on l. A
+// nil logger is a no-op, so callers need no logging branches. Zero
+// dimension fields are omitted; the identifying fields (endpoint,
+// cache, duration) are always present.
+func LogRun(l *slog.Logger, ev RunEvent) {
+	if l == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 10)
+	if ev.RunID != 0 {
+		attrs = append(attrs, slog.Int64("run_id", ev.RunID))
+	}
+	if ev.RequestID != "" {
+		attrs = append(attrs, slog.String("request_id", ev.RequestID))
+	}
+	attrs = append(attrs, slog.String("endpoint", ev.Endpoint))
+	if ev.App != "" {
+		attrs = append(attrs, slog.String("app", ev.App))
+	}
+	if ev.Topology != "" {
+		attrs = append(attrs, slog.String("topo", ev.Topology))
+	}
+	if ev.Ranks != 0 {
+		attrs = append(attrs, slog.Int("ranks", ev.Ranks))
+	}
+	attrs = append(attrs, slog.String("cache", ev.Cache))
+	if ev.QueueWaitMS > 0 {
+		attrs = append(attrs, slog.Float64("queue_wait_ms", ev.QueueWaitMS))
+	}
+	attrs = append(attrs, slog.Float64("duration_ms", ev.DurationMS))
+	if ev.Err != "" {
+		attrs = append(attrs, slog.String("err", ev.Err))
+	}
+	l.LogAttrs(context.Background(), slog.LevelInfo, "run_complete", attrs...)
+}

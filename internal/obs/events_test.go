@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// logLines captures slog JSON output and returns the decoded lines.
+func logLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var lines []map[string]any
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if raw == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(raw), &m); err != nil {
+			t.Fatalf("bad log line %q: %v", raw, err)
+		}
+		lines = append(lines, m)
+	}
+	return lines
+}
+
+func TestLogRunEmitsOneLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := slog.New(slog.NewJSONHandler(&buf, nil))
+	LogRun(l, RunEvent{
+		RunID:       3,
+		RequestID:   "00000007",
+		Endpoint:    "analyze",
+		App:         "MILC",
+		Topology:    "torus3d",
+		Ranks:       512,
+		Cache:       "miss",
+		QueueWaitMS: 1.5,
+		DurationMS:  42.25,
+	})
+	lines := logLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d log lines, want 1:\n%s", len(lines), buf.String())
+	}
+	m := lines[0]
+	if m["msg"] != "run_complete" {
+		t.Errorf("msg = %v, want run_complete", m["msg"])
+	}
+	want := map[string]any{
+		"run_id":        float64(3),
+		"request_id":    "00000007",
+		"endpoint":      "analyze",
+		"app":           "MILC",
+		"topo":          "torus3d",
+		"ranks":         float64(512),
+		"cache":         "miss",
+		"queue_wait_ms": 1.5,
+		"duration_ms":   42.25,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("%s = %v, want %v", k, m[k], v)
+		}
+	}
+	if _, ok := m["err"]; ok {
+		t.Error("err attr present on a successful run")
+	}
+}
+
+func TestLogRunOmitsZeroFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := slog.New(slog.NewJSONHandler(&buf, nil))
+	LogRun(l, RunEvent{Endpoint: "grid", Cache: "hit", DurationMS: 0.1})
+	m := logLines(t, &buf)[0]
+	for _, absent := range []string{"run_id", "request_id", "app", "topo", "ranks", "queue_wait_ms", "err"} {
+		if _, ok := m[absent]; ok {
+			t.Errorf("zero field %s present: %v", absent, m[absent])
+		}
+	}
+	for _, present := range []string{"endpoint", "cache", "duration_ms"} {
+		if _, ok := m[present]; !ok {
+			t.Errorf("identifying field %s missing in %v", present, m)
+		}
+	}
+}
+
+func TestLogRunErrField(t *testing.T) {
+	var buf bytes.Buffer
+	l := slog.New(slog.NewJSONHandler(&buf, nil))
+	LogRun(l, RunEvent{Endpoint: "trace", Cache: "none", Err: "boom"})
+	if m := logLines(t, &buf)[0]; m["err"] != "boom" {
+		t.Errorf("err = %v, want boom", m["err"])
+	}
+}
+
+func TestLogRunNilLogger(t *testing.T) {
+	LogRun(nil, RunEvent{Endpoint: "grid", Cache: "hit"}) // must not panic
+}

@@ -56,6 +56,7 @@ type Span struct {
 	children []*Span
 	dropped  int
 	onEnd    func(*Span)
+	runID    int64
 }
 
 func newSpan(name string) *Span {
@@ -222,14 +223,46 @@ func (t *Tracer) StartRun(name string) *Span {
 func (t *Tracer) record(s *Span) {
 	d := s.Data()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.seq++
+	id := t.seq
 	t.runs = append(t.runs, RunRecord{
-		ID: t.seq, Name: d.Name, Start: d.Start, DurationMS: d.DurationMS, Root: d,
+		ID: id, Name: d.Name, Start: d.Start, DurationMS: d.DurationMS, Root: d,
 	})
 	if len(t.runs) > t.cap {
 		t.runs = append(t.runs[:0], t.runs[len(t.runs)-t.cap:]...)
 	}
+	t.mu.Unlock()
+	s.mu.Lock()
+	s.runID = id
+	s.mu.Unlock()
+}
+
+// RunID returns the ring ID assigned when this root span Ended (0 for
+// child spans, spans not started through a tracer, or spans that have
+// not Ended yet). Safe on a nil receiver.
+func (s *Span) RunID() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runID
+}
+
+// Run returns the recorded run with the given ID, or false when the ID
+// was never assigned or its run has already been evicted from the ring.
+func (t *Tracer) Run(id int64) (RunRecord, bool) {
+	if t == nil {
+		return RunRecord{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.runs) - 1; i >= 0; i-- {
+		if t.runs[i].ID == id {
+			return t.runs[i], true
+		}
+	}
+	return RunRecord{}, false
 }
 
 // Runs returns the recorded runs, newest first.

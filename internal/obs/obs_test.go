@@ -196,3 +196,57 @@ func TestEndTwiceKeepsFirstDuration(t *testing.T) {
 		t.Errorf("double End recorded %d runs", len(tr.Runs()))
 	}
 }
+
+func TestRunIDsMonotonicAndLookup(t *testing.T) {
+	tr := NewTracer(2)
+	var ids []int64
+	for i := 0; i < 4; i++ {
+		s := tr.StartRun("run")
+		if s.RunID() != 0 {
+			t.Errorf("RunID before End = %d, want 0", s.RunID())
+		}
+		s.End()
+		ids = append(ids, s.RunID())
+	}
+	for i, id := range ids {
+		if id != int64(i)+1 {
+			t.Fatalf("run IDs = %v, want 1..4", ids)
+		}
+	}
+	// The ring holds 2 entries: newest two resolvable, older ones gone.
+	for _, id := range ids[2:] {
+		rec, ok := tr.Run(id)
+		if !ok {
+			t.Fatalf("run %d not found in ring", id)
+		}
+		if rec.ID != id || rec.Root.Name != "run" {
+			t.Errorf("Run(%d) = {ID: %d, Root: %q}", id, rec.ID, rec.Root.Name)
+		}
+	}
+	for _, id := range ids[:2] {
+		if _, ok := tr.Run(id); ok {
+			t.Errorf("evicted run %d still resolvable", id)
+		}
+	}
+	if _, ok := tr.Run(999); ok {
+		t.Error("unknown run ID resolved")
+	}
+}
+
+func TestRunIDNilAndUnrecordedSpans(t *testing.T) {
+	var nilSpan *Span
+	if nilSpan.RunID() != 0 {
+		t.Error("nil span has a run ID")
+	}
+	tr := NewTracer(1)
+	root := tr.StartRun("run")
+	child := root.Start("stage")
+	child.End()
+	root.End()
+	if child.RunID() != 0 {
+		t.Errorf("child span got run ID %d; only roots are recorded", child.RunID())
+	}
+	if root.RunID() == 0 {
+		t.Error("recorded root has no run ID")
+	}
+}

@@ -159,8 +159,13 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return m.hist
 }
 
-// Observe records one value.
+// Observe records one value. NaN observations are dropped: NaN would
+// land in the +Inf bucket and, worse, poison the running sum (every
+// later mean renders as NaN) without any way to recover.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)
 	for {

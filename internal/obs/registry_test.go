@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -217,6 +218,70 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if !strings.Contains(out, "# TYPE netloc_latency_ms histogram") {
 		t.Errorf("missing histogram TYPE:\n%s", out)
+	}
+}
+
+// TestHistogramObserveNaNIgnored is the regression test for the NaN
+// guard: NaN compares false against every bound, so before the guard it
+// landed in the +Inf bucket and poisoned the sum (NaN is absorbing),
+// wrecking every later quantile estimate.
+func TestHistogramObserveNaNIgnored(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 10})
+	h.Observe(2)
+	h.Observe(math.NaN())
+	h.Observe(5)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Errorf("count = %d, want 2 (NaN observed)", s.Count)
+	}
+	if s.Sum != 7 {
+		t.Errorf("sum = %v, want 7 (NaN poisoned it)", s.Sum)
+	}
+	if got := s.Cumulative[len(s.Cumulative)-1]; got != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", got)
+	}
+}
+
+// TestPrometheusLabelEscaping pins that label values containing quotes,
+// backslashes, and newlines survive text exposition: the output still
+// parses line-by-line (a raw newline would shear the sample in two) and
+// each value round-trips to its escaped form. Go's %q escaping agrees
+// with the Prometheus text format for exactly these characters.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	cases := []struct {
+		raw     string // label value as registered
+		escaped string // how it must appear between the quotes
+	}{
+		{`plain`, `plain`},
+		{`quote"inside`, `quote\"inside`},
+		{`back\slash`, `back\\slash`},
+		{"line\nbreak", `line\nbreak`},
+		{"all\"three\\here\n", `all\"three\\here\n`},
+	}
+	r := NewRegistry()
+	for i, c := range cases {
+		r.Counter("netloc_escape_test_total", "Escaping.", Label{"v", c.raw}).Add(int64(i) + 1)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series := parseProm(t, buf.String()) // fails on any sheared line
+	for i, c := range cases {
+		key := `netloc_escape_test_total{v="` + c.escaped + `"}`
+		got, ok := series[key]
+		if !ok {
+			t.Errorf("case %d: missing series %s in:\n%s", i, key, buf.String())
+			continue
+		}
+		if got != float64(i)+1 {
+			t.Errorf("case %d: %s = %v, want %d", i, key, got, i+1)
+		}
+	}
+	// Each distinct raw value stayed a distinct series.
+	if n := strings.Count(buf.String(), "netloc_escape_test_total{"); n != len(cases) {
+		t.Errorf("sample lines = %d, want %d", n, len(cases))
 	}
 }
 

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// chromeTracePid is the single process ID the exporter stamps on every
+// event: one pipeline run is one process; parallelism shows up as lanes
+// (tids) inside it.
+const chromeTracePid = 1
+
+// chromeTraceEvent is one entry of the Chrome trace-event JSON array —
+// the format chrome://tracing and Perfetto load directly. Spans render
+// as complete ("X") events; the file also carries "M" metadata events
+// naming the process and lanes.
+type chromeTraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders a span tree as Chrome trace-event JSON: a
+// valid JSON array of complete ("X") events, microsecond timestamps
+// relative to the root span's start, work counts and instance labels in
+// each event's args. Load the output in Perfetto (ui.perfetto.dev) or
+// chrome://tracing to see where a run's time went.
+//
+// Grid cells run in parallel, so sibling spans may overlap in time;
+// trace viewers require events in one lane to nest strictly. Children
+// are therefore packed greedily into lanes (tids): a child stays on its
+// parent's lane when the lane is free, and overlapping siblings move to
+// fresh lanes. Child intervals are clamped into their parent's so
+// float-rounding can never produce a partially overlapping pair. Events
+// are emitted in non-decreasing ts order, and the encoding is
+// deterministic for a given tree (args keys are sorted by the JSON
+// encoder).
+func WriteChromeTrace(w io.Writer, d SpanData) error {
+	if d.Start.IsZero() {
+		return errors.New("obs: span tree has no recorded start time")
+	}
+	base := d.Start
+	nextTid := 1
+	var events []chromeTraceEvent
+	maxTid := 1
+
+	// render emits d as an X event on lane tid, clamped into [lo, hi]
+	// microseconds (hi < 0 = unbounded, for the root), then lane-packs
+	// its children.
+	var render func(d SpanData, lo, hi int64, tid int)
+	render = func(d SpanData, lo, hi int64, tid int) {
+		ts, end := spanWindow(d, base, lo, hi)
+		if tid > maxTid {
+			maxTid = tid
+		}
+		events = append(events, chromeTraceEvent{
+			Name: d.Name, Cat: "stage", Ph: "X",
+			Ts: ts, Dur: end - ts, Pid: chromeTracePid, Tid: tid,
+			Args: spanArgs(d),
+		})
+		kids := append([]SpanData(nil), d.Children...)
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+		type lane struct {
+			tid       int
+			busyUntil int64
+		}
+		lanes := []lane{{tid: tid, busyUntil: ts}}
+		for _, k := range kids {
+			kts, kend := spanWindow(k, base, ts, end)
+			placed := -1
+			for i := range lanes {
+				if lanes[i].busyUntil <= kts {
+					placed = i
+					break
+				}
+			}
+			if placed < 0 {
+				nextTid++
+				lanes = append(lanes, lane{tid: nextTid})
+				placed = len(lanes) - 1
+			}
+			lanes[placed].busyUntil = kend
+			render(k, kts, end, lanes[placed].tid)
+		}
+	}
+	render(d, 0, -1, 1)
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		return events[i].Dur > events[j].Dur // parents before their children
+	})
+
+	out := make([]chromeTraceEvent, 0, len(events)+1+maxTid)
+	out = append(out, chromeTraceEvent{
+		Name: "process_name", Ph: "M", Pid: chromeTracePid, Tid: 0,
+		Args: map[string]any{"name": "netloc/" + d.Name},
+	})
+	for tid := 1; tid <= maxTid; tid++ {
+		name := "main"
+		if tid > 1 {
+			name = "worker"
+		}
+		out = append(out, chromeTraceEvent{
+			Name: "thread_name", Ph: "M", Pid: chromeTracePid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	out = append(out, events...)
+
+	b, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// spanWindow computes a span's [start, end) microsecond window relative
+// to base, clamped into [lo, hi] (hi < 0 = unbounded). Every span keeps
+// at least 1 µs of width so it stays visible — and clickable — in the
+// viewer.
+func spanWindow(d SpanData, base time.Time, lo, hi int64) (ts, end int64) {
+	ts = d.Start.Sub(base).Microseconds()
+	if ts < lo {
+		ts = lo
+	}
+	dur := int64(d.DurationMS * 1000)
+	if dur < 1 {
+		dur = 1
+	}
+	end = ts + dur
+	if hi >= 0 && end > hi {
+		end = hi
+	}
+	if end <= ts {
+		end = ts + 1
+	}
+	return ts, end
+}
+
+// spanArgs collects a span's exportable metadata: the instance label,
+// every work count, and the dropped-children tally.
+func spanArgs(d SpanData) map[string]any {
+	if d.Label == "" && len(d.Counts) == 0 && d.DroppedChildren == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(d.Counts)+2)
+	if d.Label != "" {
+		args["label"] = d.Label
+	}
+	for k, v := range d.Counts {
+		args[k] = v
+	}
+	if d.DroppedChildren > 0 {
+		args["dropped_children"] = d.DroppedChildren
+	}
+	return args
+}
+
+// WriteChromeTraceFile writes WriteChromeTrace output to path, the
+// convenience the CLIs' -trace-out flags use.
+func WriteChromeTraceFile(path string, d SpanData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := WriteChromeTrace(f, d)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decodeTrace unmarshals exporter output, failing on anything that is
+// not a valid JSON array of objects.
+func decodeTrace(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var events []map[string]any
+	if err := json.Unmarshal(b, &events); err != nil {
+		t.Fatalf("trace output is not a JSON array: %v\n%s", err, b)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace output is empty")
+	}
+	return events
+}
+
+// fabricated builds a deterministic SpanData tree by hand: a root with
+// a sequential child, two overlapping "cell" children (as a parallel
+// grid produces), and a nested grandchild.
+func fabricated() SpanData {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	return SpanData{
+		Name: "run", Start: base, DurationMS: 10, Ended: true,
+		Counts: map[string]int64{"events": 42},
+		Children: []SpanData{
+			{Name: "generate", Label: "LULESH/64", Start: base.Add(1 * time.Millisecond), DurationMS: 2, Ended: true},
+			{Name: "cell", Label: "A", Start: base.Add(4 * time.Millisecond), DurationMS: 4, Ended: true,
+				Children: []SpanData{
+					{Name: "netmodel", Start: base.Add(5 * time.Millisecond), DurationMS: 1, Ended: true},
+				}},
+			{Name: "cell", Label: "B", Start: base.Add(4*time.Millisecond + 500*time.Microsecond), DurationMS: 4, Ended: true},
+		},
+	}
+}
+
+// TestChromeTraceShape is the golden shape check CI runs explicitly: a
+// valid JSON array whose events all carry pid/tid/ph/name, with
+// non-decreasing ts and X events for every span.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fabricated()); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	lastTs := -1.0
+	spans := 0
+	for i, ev := range events {
+		for _, field := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, ev)
+			}
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok {
+			t.Fatalf("event %d has no numeric ts: %v", i, ev)
+		}
+		if ts < lastTs {
+			t.Fatalf("ts not monotonic at event %d: %g after %g", i, ts, lastTs)
+		}
+		lastTs = ts
+		switch ev["ph"] {
+		case "X":
+			spans++
+			if dur, ok := ev["dur"].(float64); !ok || dur < 1 {
+				t.Errorf("X event %q has bad dur %v", ev["name"], ev["dur"])
+			}
+		case "M": // metadata: process/thread names
+		default:
+			t.Errorf("unexpected phase %v in event %d", ev["ph"], i)
+		}
+	}
+	if spans != 5 { // run + generate + 2 cells + netmodel
+		t.Errorf("X events = %d, want 5", spans)
+	}
+}
+
+// TestChromeTraceNestingAndLanes checks the viewer-facing invariants:
+// children are contained in their parent's window, overlapping siblings
+// land on different lanes, and within one lane events never partially
+// overlap.
+func TestChromeTraceNestingAndLanes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fabricated()); err != nil {
+		t.Fatal(err)
+	}
+	type span struct {
+		name    string
+		ts, end int64
+		tid     int
+		label   string
+	}
+	var spans []span
+	for _, ev := range decodeTrace(t, buf.Bytes()) {
+		if ev["ph"] != "X" {
+			continue
+		}
+		s := span{
+			name: ev["name"].(string),
+			ts:   int64(ev["ts"].(float64)),
+			tid:  int(ev["tid"].(float64)),
+		}
+		s.end = s.ts + int64(ev["dur"].(float64))
+		if args, ok := ev["args"].(map[string]any); ok {
+			s.label, _ = args["label"].(string)
+		}
+		spans = append(spans, s)
+	}
+	byLabel := func(label string) span {
+		for _, s := range spans {
+			if s.label == label {
+				return s
+			}
+		}
+		t.Fatalf("no span labeled %q", label)
+		return span{}
+	}
+	root := spans[0]
+	if root.name != "run" {
+		t.Fatalf("first X event = %q, want the root", root.name)
+	}
+	for _, s := range spans[1:] {
+		if s.ts < root.ts || s.end > root.end {
+			t.Errorf("span %q [%d,%d] escapes root [%d,%d]", s.name, s.ts, s.end, root.ts, root.end)
+		}
+	}
+	cellA, cellB := byLabel("A"), byLabel("B")
+	if cellA.tid == cellB.tid {
+		t.Errorf("overlapping cells share lane %d", cellA.tid)
+	}
+	// The sequential child fits on the root's lane.
+	for _, s := range spans {
+		if s.name == "generate" && s.tid != root.tid {
+			t.Errorf("non-overlapping child moved to lane %d (root lane %d)", s.tid, root.tid)
+		}
+	}
+	// No partial overlap within any lane.
+	for i, a := range spans {
+		for _, b := range spans[i+1:] {
+			if a.tid != b.tid {
+				continue
+			}
+			disjoint := a.end <= b.ts || b.end <= a.ts
+			nested := (a.ts <= b.ts && b.end <= a.end) || (b.ts <= a.ts && a.end <= b.end)
+			if !disjoint && !nested {
+				t.Errorf("lane %d has partially overlapping spans %q [%d,%d] and %q [%d,%d]",
+					a.tid, a.name, a.ts, a.end, b.name, b.ts, b.end)
+			}
+		}
+	}
+}
+
+// TestChromeTraceArgsAndMetadata checks counts/labels ride along as
+// event args and that process/thread metadata is present for the
+// viewer's track names.
+func TestChromeTraceArgsAndMetadata(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fabricated()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"process_name"`, `"thread_name"`, `"events":42`, `"label":"LULESH/64"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %s in:\n%s", want, out)
+		}
+	}
+}
+
+// TestChromeTraceDeterministic pins that one tree encodes to one byte
+// sequence (args maps are sorted by the JSON encoder), so traces are
+// diffable artifacts.
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, fabricated()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, fabricated()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same tree differ")
+	}
+}
+
+// TestChromeTraceFromLiveSpans exercises the real span machinery end to
+// end: a tracer run with concurrent children exports as a loadable
+// trace.
+func TestChromeTraceFromLiveSpans(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.StartRun("live")
+	gen := root.Start("generate")
+	gen.SetLabel("AMG/216")
+	gen.Add("events", 7)
+	gen.End()
+	cell := root.Start("cell")
+	inner := cell.Start("netmodel")
+	inner.End()
+	cell.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, root.Data()); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	names := map[string]bool{}
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			names[ev["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"live", "generate", "cell", "netmodel"} {
+		if !names[want] {
+			t.Errorf("missing span %q in exported trace (got %v)", want, names)
+		}
+	}
+}
+
+func TestChromeTraceEmptySpanErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, SpanData{}); err == nil {
+		t.Fatal("no error for a zero SpanData")
+	}
+}
+
+func TestWriteChromeTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace.json")
+	if err := WriteChromeTraceFile(path, fabricated()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeTrace(t, b)
+}

@@ -152,7 +152,7 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 	for i, wl := range req.Workloads {
 		refs[i] = core.WorkloadRef{App: wl.App, Ranks: wl.Ranks}
 	}
-	b, err := s.cached(req.cacheKey(), func(sp *obs.Span) (any, error) {
+	b, err := s.cached(r, runDims{}, req.cacheKey(), func(sp *obs.Span) (any, error) {
 		o := opts
 		o.Span = sp
 		rows, err := core.CongestionTable(refs, req.Families, req.Policies, req.GrowthPct, o)

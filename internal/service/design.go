@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"netloc/internal/core"
 	"netloc/internal/design"
@@ -33,14 +34,25 @@ func (s *Server) designOptions() core.Options {
 // job searches next to everything else and their work counts feed the
 // pipeline counters.
 func (s *Server) designSearch(ctx context.Context, req design.Request, opts core.Options) (*design.Sheet, error) {
+	start := time.Now()
 	s.budget.Acquire()
+	queueWait := time.Since(start)
 	defer s.budget.Release()
 	s.metrics.computations.Inc()
 	root := s.tracer.StartRun(req.CanonicalKey())
 	opts.Span = root
 	sheet, err := design.SearchContext(ctx, req, opts)
 	root.End()
-	s.metrics.absorbRun(root.Data())
+	ev := obs.RunEvent{
+		RunID: root.RunID(), Endpoint: "design_jobs",
+		App: req.App, Ranks: req.Ranks, Cache: "none",
+		QueueWaitMS: float64(queueWait) / float64(time.Millisecond),
+		DurationMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	s.metrics.completeRun(root.Data(), ev)
 	return sheet, err
 }
 
@@ -84,7 +96,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := s.designOptions()
-	b, err := s.cached(req.CanonicalKey(), func(sp *obs.Span) (any, error) {
+	b, err := s.cached(r, runDims{App: req.App, Ranks: req.Ranks}, req.CanonicalKey(), func(sp *obs.Span) (any, error) {
 		o := opts
 		o.Span = sp
 		// The computation may be shared through the singleflight group

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"strings"
 	"time"
 
@@ -59,7 +60,18 @@ type metricsRegistry struct {
 	queueWait *obs.Histogram
 	pipeline  map[string]*obs.Counter
 	congest   map[string]*obs.Counter
+	slowRuns  map[string]*obs.Counter
 	workcache *workcache.Cache
+
+	// Run-event / slow-run configuration, set once by configureRuns
+	// before the server starts serving.
+	log            *slog.Logger
+	slowDefault    time.Duration
+	slowByEndpoint map[string]time.Duration
+
+	// runtime is the opt-in telemetry sampler; nil unless the server was
+	// configured with a sample interval (tests stay byte-pinned).
+	runtime *obs.RuntimeSampler
 }
 
 func newMetricsRegistry(endpoints []string) *metricsRegistry {
@@ -75,6 +87,7 @@ func newMetricsRegistry(endpoints []string) *metricsRegistry {
 		queueWait:    reg.Histogram("netloc_engine_queue_wait_ms", "Time requests waited for a worker token.", queueWaitBucketsMs),
 		pipeline:     make(map[string]*obs.Counter, len(pipelineCountNames)),
 		congest:      make(map[string]*obs.Counter, len(congestCountNames)),
+		slowRuns:     make(map[string]*obs.Counter, len(endpoints)),
 	}
 	for _, ep := range endpoints {
 		m.endpoints[ep] = &endpointMetrics{
@@ -82,6 +95,7 @@ func newMetricsRegistry(endpoints []string) *metricsRegistry {
 			errors:   reg.Counter("netloc_http_errors_total", "HTTP responses with status >= 400 by endpoint.", obs.Label{Key: "endpoint", Value: ep}),
 			latency:  reg.Histogram("netloc_http_request_duration_ms", "Request latency by endpoint.", latencyBucketsMs, obs.Label{Key: "endpoint", Value: ep}),
 		}
+		m.slowRuns[ep] = reg.Counter("netloc_slow_runs_total", "Computed runs slower than the endpoint's slow-run threshold.", obs.Label{Key: "endpoint", Value: ep})
 	}
 	for _, name := range pipelineCountNames {
 		m.pipeline[name] = reg.Counter("netloc_pipeline_"+name+"_total", "Pipeline work units ("+name+") processed.")
@@ -151,6 +165,62 @@ func (e *endpointMetrics) observeLatency(d time.Duration) {
 	e.latency.Observe(float64(d) / float64(time.Millisecond))
 }
 
+// configureRuns installs the run-event logger and the slow-run
+// thresholds (a default plus per-endpoint overrides; 0 disables).
+// Called once from New, before the server starts serving.
+func (m *metricsRegistry) configureRuns(log *slog.Logger, slowDefault time.Duration, slowByEndpoint map[string]time.Duration) {
+	m.log = log
+	m.slowDefault = slowDefault
+	m.slowByEndpoint = slowByEndpoint
+}
+
+// bindRuntime attaches the opt-in runtime telemetry sampler; its series
+// were registered by obs.NewRuntimeSampler, this just makes the sampler
+// visible to the JSON snapshot and Server.Close.
+func (m *metricsRegistry) bindRuntime(s *obs.RuntimeSampler) { m.runtime = s }
+
+// slowThreshold resolves an endpoint's slow-run threshold: the
+// per-endpoint override when one is set, the default otherwise
+// (0 = detection off).
+func (m *metricsRegistry) slowThreshold(endpoint string) time.Duration {
+	if th, ok := m.slowByEndpoint[endpoint]; ok {
+		return th
+	}
+	return m.slowDefault
+}
+
+// completeRun is the chokepoint every computed run passes through on
+// its way out: span work counts fold into the pipeline counters, the
+// canonical run event is logged, and the slow-run detector gets its
+// look. Cache hits and dedup followers log their event directly (they
+// have no span to absorb and cannot be slow).
+func (m *metricsRegistry) completeRun(d obs.SpanData, ev obs.RunEvent) {
+	m.absorbRun(d)
+	m.logRun(ev)
+	th := m.slowThreshold(ev.Endpoint)
+	if th <= 0 || ev.DurationMS < float64(th)/float64(time.Millisecond) {
+		return
+	}
+	if c, ok := m.slowRuns[ev.Endpoint]; ok {
+		c.Inc()
+	}
+	if m.log != nil {
+		var sb strings.Builder
+		obs.WriteSummary(&sb, d)
+		m.log.Warn("slow_run",
+			"endpoint", ev.Endpoint,
+			"run_id", ev.RunID,
+			"request_id", ev.RequestID,
+			"duration_ms", ev.DurationMS,
+			"threshold_ms", float64(th)/float64(time.Millisecond),
+			"summary", sb.String())
+	}
+}
+
+// logRun emits the canonical one-line run event (no-op without a
+// configured logger).
+func (m *metricsRegistry) logRun(ev obs.RunEvent) { obs.LogRun(m.log, ev) }
+
 // absorbRun folds a finished run's span work counts into the pipeline
 // counters (unknown count keys are ignored).
 func (m *metricsRegistry) absorbRun(d obs.SpanData) {
@@ -218,8 +288,12 @@ func (m *metricsRegistry) snapshot(cacheEntries int, cacheEvictions int64, engin
 		// already named congest.
 		congest[strings.TrimPrefix(name, "congest_")] = m.congest[name].Value()
 	}
+	slow := map[string]any{}
+	for name, c := range m.slowRuns {
+		slow[name] = c.Value()
+	}
 	ws := m.workcache.Stats()
-	return map[string]any{
+	doc := map[string]any{
 		"workcache": map[string]any{
 			"hits":      ws.Hits,
 			"misses":    ws.Misses,
@@ -246,6 +320,13 @@ func (m *metricsRegistry) snapshot(cacheEntries int, cacheEvictions int64, engin
 		},
 		"pipeline":  pipeline,
 		"congest":   congest,
+		"slow_runs": slow,
 		"endpoints": eps,
 	}
+	if m.runtime != nil {
+		// Additive: the block exists only when the sampler was opted in,
+		// so default/test servers keep the historical document shape.
+		doc["runtime"] = m.runtime.Snapshot()
+	}
+	return doc
 }

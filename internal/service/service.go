@@ -45,10 +45,15 @@
 //	GET  /v1/design/jobs/{id}       poll one job (progress, then sheet)
 //	DELETE /v1/design/jobs/{id}     cancel a running job
 //	GET  /v1/debug/runs             recent analysis runs with their
-//	                                nested stage spans (newest first)
+//	                                nested stage spans (newest first);
+//	                                ?n= limits the listing
+//	GET  /v1/debug/runs/{id}        one recorded run by its monotonic ID
+//	GET  /v1/debug/runs/{id}/trace  the run as Chrome trace-event JSON
+//	                                (open in Perfetto / chrome://tracing)
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -91,9 +96,28 @@ type Options struct {
 	// workcache.DefaultMaxEntries when zero.
 	ArtifactEntries int
 	// Log, when set, enables structured request logging: one record per
-	// request with its request ID, endpoint, status, and latency. Nil
-	// disables logging (the default; tests and embedders stay quiet).
+	// request with its request ID, endpoint, status, and latency, plus
+	// one canonical "run_complete" event per completed run (cache state,
+	// analysis dims, queue wait) and "slow_run" warnings from the
+	// slow-run detector. Nil disables logging (the default; tests and
+	// embedders stay quiet).
 	Log *slog.Logger
+	// RuntimeSampleInterval, when positive, starts the runtime telemetry
+	// sampler: netloc_runtime_{goroutines,heap_bytes,gc_pauses_total,
+	// gc_pause_seconds} sampled on this interval and a "runtime" block
+	// in the JSON /metrics document. Zero (the default) registers
+	// nothing, keeping /metrics output byte-identical for existing
+	// consumers and tests. Stop the sampler with Close.
+	RuntimeSampleInterval time.Duration
+	// SlowRunThreshold flags computed runs slower than this duration
+	// (queue wait included): each one bumps
+	// netloc_slow_runs_total{endpoint} and, with Log set, logs the run's
+	// per-stage span summary. Zero disables detection.
+	SlowRunThreshold time.Duration
+	// SlowRunEndpointThresholds overrides SlowRunThreshold per endpoint
+	// key (e.g. "experiments", "design"); an explicit zero disables
+	// detection for that endpoint only.
+	SlowRunEndpointThresholds map[string]time.Duration
 	// Analysis supplies defaults for every analysis (coverage, packet
 	// size, bandwidth, rank cap). Query parameters override coverage,
 	// strategy, and the cap per request.
@@ -154,6 +178,12 @@ func New(opts Options) *Server {
 	s.metrics.bindEngine(s.budget, s.cache, s.tracer)
 	s.metrics.bindDesignJobs(s.jobs)
 	s.metrics.bindWorkcache(s.work)
+	s.metrics.configureRuns(opts.Log, opts.SlowRunThreshold, opts.SlowRunEndpointThresholds)
+	if opts.RuntimeSampleInterval > 0 {
+		sampler := obs.NewRuntimeSampler(s.metrics.reg, opts.RuntimeSampleInterval)
+		sampler.Start()
+		s.metrics.bindRuntime(sampler)
+	}
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments", s.handleExperimentList))
@@ -169,7 +199,18 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/design/jobs/{id}", s.instrument("design_jobs", s.handleDesignJobCancel))
 	s.mux.HandleFunc("POST /v1/congestion", s.instrument("congestion", s.handleCongestion))
 	s.mux.HandleFunc("GET /v1/debug/runs", s.instrument("debug", s.handleDebugRuns))
+	s.mux.HandleFunc("GET /v1/debug/runs/{id}", s.instrument("debug", s.handleDebugRun))
+	s.mux.HandleFunc("GET /v1/debug/runs/{id}/trace", s.instrument("debug", s.handleDebugRunTrace))
 	return s
+}
+
+// Close releases the server's background resources (currently the
+// opt-in runtime telemetry sampler). Safe to call more than once; the
+// zero-configuration server has nothing to release.
+func (s *Server) Close() {
+	if s.metrics.runtime != nil {
+		s.metrics.runtime.Stop()
+	}
 }
 
 // Handler returns the service's http.Handler.
@@ -195,6 +236,24 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// reqInfo identifies the request a computation belongs to; instrument
+// stores it in the request context so the cached/compute layer can
+// stamp canonical run events without widening every handler signature.
+type reqInfo struct {
+	id       string
+	endpoint string
+}
+
+type reqInfoKey struct{}
+
+// requestInfo extracts the instrumentation identity stored by
+// instrument (zero value when the request bypassed it, e.g. in direct
+// handler tests).
+func requestInfo(r *http.Request) reqInfo {
+	info, _ := r.Context().Value(reqInfoKey{}).(reqInfo)
+	return info
+}
+
 // instrument wraps a handler with the endpoint's request counter, error
 // counter, latency histogram, the global in-flight gauge, a response
 // X-Request-ID header, and (when Options.Log is set) one structured log
@@ -204,7 +263,9 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := s.requestID.Add(1)
-		w.Header().Set("X-Request-ID", fmt.Sprintf("%08x", id))
+		idStr := fmt.Sprintf("%08x", id)
+		w.Header().Set("X-Request-ID", idStr)
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, reqInfo{id: idStr, endpoint: endpoint}))
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -248,26 +309,62 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	w.Write(b)
 }
 
+// runDims carries a request's analysis dimensions (which workload,
+// topology, and scale a run was about) into its canonical run event;
+// zero fields are simply omitted from the log line.
+type runDims struct {
+	App   string
+	Topo  string
+	Ranks int
+}
+
+// msSince is a duration-to-milliseconds helper for event fields.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
 // cached serves one canonicalized request: from the LRU on a hit,
 // otherwise through the singleflight group and the worker pool, caching
 // the marshaled bytes for the next identical request. Each executed
 // computation runs under a root span (compute receives it to hand down
-// to the pipeline); the finished run lands in the span ring and its
-// work counts feed the pipeline counters.
-func (s *Server) cached(key string, compute func(sp *obs.Span) (any, error)) ([]byte, error) {
+// to the pipeline); the finished run lands in the span ring, its work
+// counts feed the pipeline counters, and exactly one canonical run
+// event is logged per caller — cache="miss" for the computing leader
+// (through the completeRun chokepoint, where the slow-run detector
+// also looks), cache="hit" for LRU hits, cache="dedup" for followers
+// that joined an identical in-flight computation.
+func (s *Server) cached(r *http.Request, dims runDims, key string, compute func(sp *obs.Span) (any, error)) ([]byte, error) {
+	info := requestInfo(r)
+	start := time.Now()
+	event := func(cache string) obs.RunEvent {
+		return obs.RunEvent{
+			RequestID: info.id, Endpoint: info.endpoint,
+			App: dims.App, Topology: dims.Topo, Ranks: dims.Ranks,
+			Cache: cache, DurationMS: msSince(start),
+		}
+	}
 	if b, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Inc()
+		s.metrics.logRun(event("hit"))
 		return b, nil
 	}
 	s.metrics.cacheMisses.Inc()
 	b, err, shared := s.group.Do(key, func() ([]byte, error) {
+		admit := time.Now()
 		s.budget.Acquire() // request-level admission: one token per computation
+		queueWait := time.Since(admit)
 		defer s.budget.Release()
 		s.metrics.computations.Inc()
 		root := s.tracer.StartRun(key)
 		v, err := compute(root)
 		root.End()
-		s.metrics.absorbRun(root.Data())
+		ev := event("miss")
+		ev.RunID = root.RunID()
+		ev.QueueWaitMS = float64(queueWait) / float64(time.Millisecond)
+		if err != nil {
+			ev.Err = err.Error()
+		}
+		s.metrics.completeRun(root.Data(), ev)
 		if err != nil {
 			return nil, err
 		}
@@ -280,6 +377,7 @@ func (s *Server) cached(key string, compute func(sp *obs.Span) (any, error)) ([]
 	})
 	if shared {
 		s.metrics.deduped.Inc()
+		s.metrics.logRun(event("dedup"))
 	}
 	return b, err
 }
@@ -320,7 +418,66 @@ type DebugRuns struct {
 }
 
 func (s *Server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, DebugRuns{Recorded: s.tracer.Recorded(), Runs: s.tracer.Runs()})
+	q := r.URL.Query()
+	n := 0
+	if raw := q.Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("service: bad n %q: want a positive integer (1..%d)", raw, obs.DefaultTracerRuns))
+			return
+		}
+		n = v
+	}
+	runs := s.tracer.Runs()
+	if n > 0 && n < len(runs) {
+		runs = runs[:n]
+	}
+	writeJSON(w, DebugRuns{Recorded: s.tracer.Recorded(), Runs: runs})
+}
+
+// debugRun resolves the {id} path value of the single-run endpoints:
+// 400 for a malformed ID, 404 for one that was never assigned or has
+// already rotated out of the bounded ring.
+func (s *Server) debugRun(w http.ResponseWriter, r *http.Request) (obs.RunRecord, bool) {
+	raw := r.PathValue("id")
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || id < 1 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("service: bad run id %q: want a positive integer", raw))
+		return obs.RunRecord{}, false
+	}
+	rec, ok := s.tracer.Run(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("service: run %d not found (recorded %d, ring keeps the most recent %d)",
+				id, s.tracer.Recorded(), obs.DefaultTracerRuns))
+		return obs.RunRecord{}, false
+	}
+	return rec, true
+}
+
+func (s *Server) handleDebugRun(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.debugRun(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, rec)
+}
+
+// handleDebugRunTrace serves one recorded run as Chrome trace-event
+// JSON — the same bytes obs.WriteChromeTrace renders for the CLIs'
+// -trace-out flags — so a service run can be dropped straight into
+// Perfetto or chrome://tracing.
+func (s *Server) handleDebugRunTrace(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.debugRun(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// A write error here means the client went away mid-response;
+	// headers are already out, so there is nothing useful left to do.
+	_ = obs.WriteChromeTrace(w, rec.Root)
 }
 
 // ExperimentInfo is one row of the experiment listing.
@@ -441,7 +598,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("exp/%s?app=%s&coverage=%g&maxranks=%d&minranks=%d&rank=%d&ranks=%d&strategy=%s",
 		name, p.App, opts.Coverage, opts.MaxRanks, p.MinRanks, p.Rank, p.Ranks, opts.Strategy)
-	b, err := s.cached(key, func(sp *obs.Span) (any, error) {
+	b, err := s.cached(r, runDims{App: p.App, Ranks: p.Ranks}, key, func(sp *obs.Span) (any, error) {
 		q := p
 		q.Options.Span = sp
 		return harness.Collect(q)
@@ -515,7 +672,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("analyze?app=%s&coverage=%g&mapping=%s&ranks=%d&strategy=%s&topo=%s",
 		app, opts.Coverage, mapping, ranks, opts.Strategy, topo)
-	b, err := s.cached(key, func(sp *obs.Span) (any, error) {
+	b, err := s.cached(r, runDims{App: app, Topo: topo, Ranks: ranks}, key, func(sp *obs.Span) (any, error) {
 		o := opts
 		o.Span = sp
 		a, err := core.AnalyzeAppOn(app, ranks, topo, mapping, o)
@@ -606,7 +763,7 @@ func (s *Server) handleTopologies(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("topo?ranks=%d", ranks)
-	b, err := s.cached(key, func(*obs.Span) (any, error) {
+	b, err := s.cached(r, runDims{Ranks: ranks}, key, func(*obs.Span) (any, error) {
 		tor, ft, df, err := topology.Configs(ranks)
 		if err != nil {
 			return nil, err
@@ -665,13 +822,25 @@ func (s *Server) handleTraceAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad trace body: %w", err))
 		return
 	}
+	info := requestInfo(r)
+	start := time.Now()
 	s.budget.Acquire()
+	queueWait := time.Since(start)
 	s.metrics.computations.Inc()
 	root := s.tracer.StartRun(fmt.Sprintf("trace/%s/%d", t.Meta.App, t.Meta.Ranks))
 	opts.Span = root
 	a, err := core.AnalyzeTrace(t, opts)
 	root.End()
-	s.metrics.absorbRun(root.Data())
+	ev := obs.RunEvent{
+		RunID: root.RunID(), RequestID: info.id, Endpoint: info.endpoint,
+		App: t.Meta.App, Ranks: t.Meta.Ranks, Cache: "none",
+		QueueWaitMS: float64(queueWait) / float64(time.Millisecond),
+		DurationMS:  msSince(start),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	s.metrics.completeRun(root.Data(), ev)
 	s.budget.Release()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -20,8 +20,11 @@ go vet ./...
 echo "=== go build ==="
 go build ./...
 
+# -timeout 30m: under the race detector the harness suite (every
+# experiment, both formats) legitimately exceeds go test's default
+# 10-minute per-package timeout on small CI runners.
 echo "=== go test -race ==="
-go test -race ./...
+go test -race -timeout 30m ./...
 
 # The full suite above runs with the machine's GOMAXPROCS; on a 1-CPU
 # runner the parallel engine then degrades to sequential and its
@@ -30,9 +33,17 @@ go test -race ./...
 # concurrent paths.
 echo "=== go test -race (parallel engine, forced workers) ==="
 # Jellyfish|SlimFly|HyperX pull in the new-family determinism and
-# regularity regressions alongside the engine suites.
-go test -race -run 'Parallel|Determin|Budget|ForEach|Singleflight|Concurrent|Span|Registry|Job|Jellyfish|SlimFly|HyperX' \
+# regularity regressions alongside the engine suites;
+# Runtime|ChromeTrace|SlowRun|RunEvent|DebugRun add the telemetry
+# sampler goroutine, trace exporter, and run-event/slow-run plumbing.
+go test -race -timeout 30m -run 'Parallel|Determin|Budget|ForEach|Singleflight|Concurrent|Span|Registry|Job|Jellyfish|SlimFly|HyperX|Runtime|ChromeTrace|SlowRun|RunEvent|DebugRun' \
     ./internal/parallel ./internal/comm ./internal/metrics ./internal/core ./internal/service ./internal/obs ./internal/design ./internal/workcache ./internal/congest ./internal/topology .
+
+# Golden Chrome-trace shape gate: the exported trace must stay a valid
+# JSON array with pid/tid on every event and monotonic timestamps, or
+# Perfetto / chrome://tracing silently refuses the file.
+echo "=== go test (chrome trace shape) ==="
+go test -run 'ChromeTrace|DebugRunTrace' ./internal/obs ./internal/service
 
 # The committed fuzz seed corpora are regression inputs: replay them
 # (seeds only — no fuzzing engine) so a corpus entry that starts
